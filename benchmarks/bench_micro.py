@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Classic pytest-benchmark targets (many rounds) so that performance
+regressions in the primitives that dominate overlay construction and
+routing are visible: social strength, friendship bitmaps, LSH bucketing,
+greedy routing, and a full small SELECT build.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SelectConfig
+from repro.core.select import SelectOverlay
+from repro.graphs.datasets import load_dataset
+from repro.lsh.bitsampling import BitSamplingLsh
+from repro.pubsub.api import PubSubSystem
+from repro.social.bitmaps import BitmapCodec
+from repro.social.strength import strength_vector
+from repro.util.bitset import bitset_from_indices, hamming_distance, popcount
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("facebook", num_nodes=200, seed=55)
+
+
+@pytest.fixture(scope="module")
+def overlay(graph):
+    return SelectOverlay(graph, config=SelectConfig(max_rounds=30)).build(seed=55)
+
+
+def test_bench_strength_vector(benchmark, graph):
+    hub = int(np.argmax(graph.degrees))
+    result = benchmark(strength_vector, graph, hub)
+    assert result.size == graph.degree(hub)
+
+
+def test_bench_bitmap_encode(benchmark, graph):
+    hub = int(np.argmax(graph.degrees))
+    codec = BitmapCodec(graph.neighbors(hub))
+    links = graph.neighbors(hub)[::3].tolist()
+    bitmap = benchmark(codec.encode, links)
+    assert popcount(bitmap) == len(links)
+
+
+def test_bench_lsh_bucket(benchmark):
+    family = BitSamplingLsh(nbits=128, num_samples=8, seed=3)
+    bitmap = bitset_from_indices(list(range(0, 128, 3)), 128)
+    bucket = benchmark(family.bucket, bitmap, 8)
+    assert 0 <= bucket < 8
+
+
+def test_bench_popcount(benchmark):
+    words = bitset_from_indices(list(range(0, 256, 2)), 256)
+    assert benchmark(popcount, words) == 128
+
+
+def test_bench_hamming(benchmark):
+    a = bitset_from_indices(list(range(0, 256, 2)), 256)
+    b = bitset_from_indices(list(range(0, 256, 3)), 256)
+    assert benchmark(hamming_distance, a, b) > 0
+
+
+def test_bench_social_lookup(benchmark, overlay, graph):
+    pubsub = PubSubSystem(overlay)
+    rng = np.random.default_rng(1)
+    pairs = []
+    for _ in range(64):
+        u = int(rng.integers(graph.num_nodes))
+        v = int(graph.neighbors(u)[rng.integers(graph.degree(u))])
+        pairs.append((u, v))
+
+    def lookups():
+        return sum(pubsub.lookup(u, v).hops for u, v in pairs)
+
+    assert benchmark(lookups) >= 64
+
+
+def test_bench_publish(benchmark, overlay):
+    pubsub = PubSubSystem(overlay)
+    result = benchmark(pubsub.publish, 7)
+    assert result.delivery_ratio == 1.0
+
+
+def test_bench_select_build(benchmark, graph):
+    def build():
+        return SelectOverlay(graph, config=SelectConfig(max_rounds=20)).build(seed=9)
+
+    overlay = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert overlay.iterations > 0

@@ -1,0 +1,41 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` file regenerates one of the paper's tables/figures with
+the ``quick`` preset (seconds-scale), times it with pytest-benchmark, and
+writes the formatted report to ``benchmarks/results/`` so the series the
+paper reports are inspectable after a run. Use
+``select-repro <experiment> --preset default`` for the larger
+configuration recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def quick_config() -> ExperimentConfig:
+    """The benchmark-sized experiment configuration."""
+    return ExperimentConfig.quick()
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Write one experiment's report to benchmarks/results/<name>.txt."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(name: str, text: str) -> str:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        # Also echo to stdout so `pytest -s` shows the series inline.
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save

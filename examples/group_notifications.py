@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Scenario: group/page notifications (topic-based pub/sub extension).
+
+Beyond friend feeds, OSN users follow groups and pages. This example
+builds a Zipf-popular, community-biased group workload over a SELECT
+overlay and shows where the social embedding helps: socially clustered
+groups disseminate with almost no relays, while globally scattered
+audiences fall back toward plain DHT routing.
+
+Run:  python examples/group_notifications.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SelectOverlay, load_dataset
+from repro.pubsub import TopicPubSub, zipf_topic_subscriptions
+
+
+def measure(pubsub: TopicPubSub, label: str) -> None:
+    relays, hops, sizes = [], [], []
+    for topic in pubsub.topics():
+        result = pubsub.publish(topic)
+        assert result.delivery_ratio == 1.0
+        relays.append(len(result.relay_nodes))
+        hops.extend(result.per_path_hops())
+        sizes.append(len(result.subscribers))
+    print(
+        f"{label}: {len(sizes)} groups (sizes {min(sizes)}-{max(sizes)}), "
+        f"hops/member {np.mean(hops):.2f}, relays/group {np.mean(relays):.2f}"
+    )
+
+
+def main() -> None:
+    graph = load_dataset("facebook", num_nodes=400, seed=19)
+    overlay = SelectOverlay(graph).build(seed=19)
+    print(f"overlay: {graph.num_nodes} peers, built in {overlay.iterations} iterations\n")
+
+    clustered = zipf_topic_subscriptions(
+        graph, num_topics=20, community_bias=0.9, seed=19
+    )
+    scattered = zipf_topic_subscriptions(
+        graph, num_topics=20, community_bias=0.0, seed=19
+    )
+    measure(TopicPubSub(overlay, clustered), "community groups ")
+    measure(TopicPubSub(overlay, scattered), "scattered groups ")
+    print(
+        "\nSELECT's social ID embedding pays off exactly when a group's"
+        "\naudience is socially clustered — which real groups are."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — a reproduction of *SELECT: A Distributed Publish/Subscribe
+Notification System for Online Social Networks* (Apolónia et al., IPDPS
+2018).
+
+Quickstart::
+
+    from repro import load_dataset, SelectOverlay, PubSubSystem
+
+    graph = load_dataset("facebook", num_nodes=500, seed=7)
+    overlay = SelectOverlay(graph).build(seed=7)
+    pubsub = PubSubSystem(overlay)
+    result = pubsub.publish(publisher=0)
+    print(result.delivery_ratio, result.relay_nodes)
+
+Packages:
+
+* :mod:`repro.core` — SELECT itself (projection, reassignment, gossip,
+  LSH link selection, recovery).
+* :mod:`repro.baselines` — Symphony, Bayeux, Vitis, OMen, Random.
+* :mod:`repro.pubsub` — the social pub/sub layer over any overlay.
+* :mod:`repro.graphs`, :mod:`repro.net`, :mod:`repro.sim` — substrates
+  (datasets, network models, simulation engine).
+* :mod:`repro.metrics`, :mod:`repro.experiments` — the paper's
+  measurements and the per-figure harness.
+"""
+
+from repro.core.config import SelectConfig
+from repro.core.recovery import RecoveryManager
+from repro.core.select import SelectOverlay
+from repro.baselines.registry import build_overlay, system_names
+from repro.graphs.datasets import available_datasets, load_dataset
+from repro.graphs.graph import SocialGraph
+from repro.pubsub.api import PubSubSystem
+from repro.experiments.common import ExperimentConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SelectConfig",
+    "SelectOverlay",
+    "RecoveryManager",
+    "build_overlay",
+    "system_names",
+    "available_datasets",
+    "load_dataset",
+    "SocialGraph",
+    "PubSubSystem",
+    "ExperimentConfig",
+    "__version__",
+]

@@ -1,0 +1,141 @@
+"""Shared machinery for the iterative gossip baselines (Vitis, OMen).
+
+Both systems start from a plain DHT (uniform identifiers on the ring) and
+then *discover* which peers are worth linking to through rounds of
+peer sampling — Vitis by interest similarity, OMen by membership in its
+target topic-connected overlay. Discovery through uniform sampling is
+slow by nature: a peer must stumble on its good candidates among all N
+peers, which is why both need several times more iterations to organize
+than SELECT (Figure 5), whose candidates are handed to it by the social
+graph.
+
+The round loop is T-Man style: each peer keeps the best ``k`` contacts
+seen so far (by a subclass-defined score) and its long links *are* that
+ranked set. Construction has converged when no peer's ranked set changes
+for a few consecutive rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import SocialGraph
+from repro.idspace.hashing import uniform_hashes
+from repro.overlay.base import OverlayNetwork
+from repro.overlay.ring import ring_links
+from repro.util.rng import as_generator
+
+__all__ = ["RankedGossipOverlay"]
+
+
+class RankedGossipOverlay(OverlayNetwork):
+    """DHT + gossip contact ranking. Subclasses define the ranking score."""
+
+    iterative = True
+    default_lookahead = True
+    #: uniform peer samples evaluated per peer per round
+    samples_per_round = 1
+    #: consecutive quiet rounds to declare convergence
+    convergence_rounds = 3
+    #: hard cap on construction rounds
+    max_rounds = 400
+
+    def __init__(self, graph: SocialGraph, k_links: int | None = None):
+        super().__init__(graph, k_links)
+        # candidate -> score cache per peer (discovered contacts)
+        self._scores: list[dict[int, float]] = [dict() for _ in range(graph.num_nodes)]
+
+    # -- subclass hooks ------------------------------------------------------
+
+    def prepare(self, rng: np.random.Generator) -> None:
+        """Set up target structures before gossip starts (optional)."""
+
+    def score(self, v: int, u: int) -> float:
+        """Attractiveness of contact ``u`` for peer ``v``; <= 0 = useless."""
+        raise NotImplementedError
+
+    # -- construction -----------------------------------------------------------
+
+    def build(self, seed=None) -> "OverlayNetwork":
+        """DHT bootstrap, then T-Man-style ranked gossip to quiescence."""
+        rng = as_generator(seed)
+        n = self.graph.num_nodes
+        salt = int(rng.integers(2**31 - 1))
+        self.ids = uniform_hashes(range(n), salt=salt)
+        for v, (pred, succ) in enumerate(ring_links(self.ids)):
+            self.tables[v].predecessor = pred
+            self.tables[v].successor = succ
+        self.prepare(rng)
+        quiet = 0
+        rounds = 0
+        for _ in range(self.max_rounds):
+            rounds += 1
+            changes = self._gossip_round(rng)
+            if changes <= max(1, n // 50):
+                quiet += 1
+                if quiet >= self.convergence_rounds:
+                    break
+            else:
+                quiet = 0
+        self.iterations = rounds
+        self._mark_built()
+        return self
+
+    def _gossip_round(self, rng: np.random.Generator) -> int:
+        """One sampling round; returns the number of peers that re-ranked."""
+        n = self.graph.num_nodes
+        changes = 0
+        samples = rng.integers(0, n, size=(n, self.samples_per_round))
+        for v in range(n):
+            learned = False
+            known = self._scores[v]
+            candidates = set(int(u) for u in samples[v] if u != v)
+            # Gossip also exposes the sampled peer's contacts (exchange of
+            # views), doubling effective discovery without extra rounds.
+            for u in list(candidates):
+                view = self.tables[u].long_links
+                if view:
+                    candidates.add(next(iter(view)))
+            candidates.discard(v)
+            for u in candidates:
+                if u in known:
+                    continue
+                s = self.score(v, u)
+                if s > 0:
+                    known[u] = s
+                    learned = True
+            if learned:
+                # Convergence is about the *materialized* topology: count a
+                # change only when the ranked link set actually moved.
+                before = set(self.tables[v].long_links)
+                self._rerank(v)
+                if self.tables[v].long_links != before:
+                    changes += 1
+        return changes
+
+    def _rerank(self, v: int) -> None:
+        """Long links = the k best-scoring discovered contacts."""
+        known = self._scores[v]
+        top = sorted(known, key=lambda u: (-known[u], u))[: self.k_links]
+        self.tables[v].long_links = set(top)
+
+    # -- shared dissemination helper ----------------------------------------------
+
+    def _members_subgraph_bfs(self, root: int, members: set) -> dict:
+        """BFS paths from ``root`` over overlay links restricted to members.
+
+        Returns ``{node: path_from_root}`` for every member reached.
+        Used by cluster/TCO dissemination: hops between co-subscribers
+        never touch a relay.
+        """
+        paths = {root: [root]}
+        frontier = [root]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for w in self.tables[u].all_links():
+                    if w in members and w not in paths:
+                        paths[w] = paths[u] + [w]
+                        nxt.append(w)
+            frontier = nxt
+        return paths

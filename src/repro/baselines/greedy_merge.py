@@ -1,0 +1,117 @@
+"""Greedy Merge (Chockler, Melamed, Tock, Vitenberg; PODC 2007).
+
+The theoretical origin of topic-connected overlay design: given a set of
+topics, each with its subscriber set, add overlay edges until every
+topic's subscribers induce a connected subgraph, minimizing edges. GM
+repeatedly adds the edge that merges the most per-topic components —
+a logarithmic approximation of the optimum, at the cost of unbalanced
+degrees (the hotspot problem the paper points out).
+
+This module is the reference implementation used by the OMen baseline's
+ablation and by the tests; :mod:`repro.baselines.tco` holds the faster
+divide-and-conquer approximation OMen actually builds with.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = ["topic_components", "greedy_merge_edges"]
+
+
+class _UnionFind:
+    """Plain union-find with path compression."""
+
+    def __init__(self, items):
+        self.parent = {x: x for x in items}
+
+    def find(self, x):
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a, b) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[rb] = ra
+        return True
+
+    def components(self) -> int:
+        return sum(1 for x in self.parent if self.find(x) == x)
+
+
+def topic_components(topics: dict, edges) -> dict:
+    """Number of connected components per topic under ``edges``.
+
+    ``topics`` maps topic id -> iterable of member nodes. A topic is
+    *topic-connected* when its component count is 1.
+    """
+    out = {}
+    for t, members in topics.items():
+        members = list(members)
+        uf = _UnionFind(members)
+        member_set = set(members)
+        for u, v in edges:
+            if u in member_set and v in member_set:
+                uf.union(u, v)
+        out[t] = uf.components() if members else 0
+    return out
+
+
+def greedy_merge_edges(topics: dict, max_degree: "int | None" = None) -> set:
+    """Run Greedy Merge: edges that make every topic connected.
+
+    Each iteration adds the candidate edge whose endpoints co-subscribe to
+    the most still-disconnected topics (the edge's *contribution*), until
+    no edge contributes — either all topics are connected or the degree
+    cap blocks further progress.
+
+    Returns the set of added edges as ``(u, v)`` with ``u < v``.
+    """
+    # Per-topic union-find; candidate edges are co-subscriber pairs.
+    forests = {t: _UnionFind(list(members)) for t, members in topics.items()}
+    membership: dict[int, set] = defaultdict(set)
+    for t, members in topics.items():
+        for m in members:
+            membership[m].add(t)
+    nodes = sorted(membership)
+    degree = {v: 0 for v in nodes}
+    chosen: set[tuple[int, int]] = set()
+
+    def contribution(u: int, v: int) -> int:
+        shared = membership[u] & membership[v]
+        return sum(1 for t in shared if forests[t].find(u) != forests[t].find(v))
+
+    # Candidate pool: pairs sharing at least one topic.
+    candidates: set[tuple[int, int]] = set()
+    for t, members in topics.items():
+        members = sorted(members)
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                candidates.add((u, v))
+
+    while True:
+        best_edge = None
+        best_gain = 0
+        for u, v in candidates:
+            if (u, v) in chosen:
+                continue
+            if max_degree is not None and (degree[u] >= max_degree or degree[v] >= max_degree):
+                continue
+            gain = contribution(u, v)
+            if gain > best_gain or (gain == best_gain and gain > 0 and (best_edge is None or (u, v) < best_edge)):
+                best_gain = gain
+                best_edge = (u, v)
+        if best_edge is None or best_gain == 0:
+            break
+        u, v = best_edge
+        chosen.add(best_edge)
+        degree[u] += 1
+        degree[v] += 1
+        for t in membership[u] & membership[v]:
+            forests[t].union(u, v)
+    return chosen

@@ -1,0 +1,72 @@
+"""System registry: build any evaluated overlay by name.
+
+The experiment harness iterates ``system_names()`` to produce the same
+five-system comparisons as the paper's figures.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.bayeux import BayeuxOverlay
+from repro.baselines.omen import OmenOverlay
+from repro.baselines.random_overlay import RandomOverlay
+from repro.baselines.symphony import SymphonyOverlay
+from repro.baselines.vitis import VitisOverlay
+from repro.graphs.graph import SocialGraph
+from repro.overlay.base import OverlayNetwork
+from repro.util.exceptions import ConfigurationError
+
+__all__ = ["SYSTEMS", "system_names", "build_overlay"]
+
+
+def _build_select(graph: SocialGraph, k_links, **kwargs) -> OverlayNetwork:
+    from repro.core.select import SelectOverlay
+
+    return SelectOverlay(graph, k_links=k_links, **kwargs)
+
+
+SYSTEMS = {
+    "select": _build_select,
+    "symphony": SymphonyOverlay,
+    "bayeux": BayeuxOverlay,
+    "vitis": VitisOverlay,
+    "omen": OmenOverlay,
+    "random": RandomOverlay,
+}
+
+_DISPLAY = {
+    "select": "SELECT",
+    "symphony": "Symphony",
+    "bayeux": "Bayeux",
+    "vitis": "Vitis",
+    "omen": "OMen",
+    "random": "Random",
+}
+
+
+def system_names(iterative_only: bool = False) -> list[str]:
+    """Evaluated systems in the paper's presentation order."""
+    names = ["select", "symphony", "bayeux", "vitis", "omen"]
+    if iterative_only:
+        # Figure 5 excludes Symphony and Bayeux (non-iterative construction).
+        names = ["select", "vitis", "omen"]
+    return names
+
+
+def display_name(name: str) -> str:
+    """Human-readable system name for reports."""
+    return _DISPLAY.get(name.lower(), name)
+
+
+def build_overlay(
+    name: str,
+    graph: SocialGraph,
+    k_links: int | None = None,
+    seed=None,
+    **kwargs,
+) -> OverlayNetwork:
+    """Construct and build the named overlay over ``graph``."""
+    key = name.lower()
+    if key not in SYSTEMS:
+        raise ConfigurationError(f"unknown system {name!r}; available: {sorted(SYSTEMS)}")
+    overlay = SYSTEMS[key](graph, k_links=k_links, **kwargs)
+    return overlay.build(seed=seed)

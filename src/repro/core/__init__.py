@@ -1,0 +1,38 @@
+"""SELECT — the paper's primary contribution.
+
+The package maps one-to-one onto Section III of the paper:
+
+===========================  ======================================
+Paper                        Module
+===========================  ======================================
+Table I (peer local state)   :mod:`repro.core.peer`
+Algorithm 1 (projection)     :mod:`repro.core.projection`
+Algorithm 2 (reassignment)   :mod:`repro.core.reassignment`
+Algorithms 3–4 (gossip)      :mod:`repro.core.gossip`
+Algorithm 5 (createLinks)    :mod:`repro.core.links`
+Algorithm 6 (picker)         :mod:`repro.core.picker`
+§III-E (pub/sub)             :mod:`repro.core.select` + :mod:`repro.pubsub`
+§III-F (recovery)            :mod:`repro.core.recovery`
+===========================  ======================================
+
+:class:`~repro.core.select.SelectOverlay` is the facade that wires them
+together behind the common :class:`~repro.overlay.base.OverlayNetwork`
+contract.
+"""
+
+from repro.core.config import SelectConfig
+from repro.core.peer import PeerState
+from repro.core.projection import IdAllocator, assign_initial_ids
+from repro.core.reassignment import evaluate_position
+from repro.core.picker import picker
+from repro.core.select import SelectOverlay
+
+__all__ = [
+    "SelectConfig",
+    "PeerState",
+    "IdAllocator",
+    "assign_initial_ids",
+    "evaluate_position",
+    "picker",
+    "SelectOverlay",
+]

@@ -1,0 +1,161 @@
+"""Link establishment and reassignment (paper Algorithm 5).
+
+``createLinks`` buckets the friendship bitmaps the peer has learned about
+its social neighborhood into ``|H| = K`` LSH buckets, then establishes one
+long-range link per non-empty bucket (chosen by Algorithm 6's picker) and
+drops already-established links that landed in the same bucket as the
+chosen peer — they cover the same zone of the neighborhood and are
+therefore redundant.
+
+Bucket assignments and bitmap popcounts are cached by
+:class:`~repro.core.peer.PeerState` when a bitmap is learned, so one round
+of ``createLinks`` is a pure grouping pass with no hashing.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable
+
+import numpy as np
+
+from repro.core.peer import PeerState
+from repro.core.picker import picker
+
+__all__ = ["create_links", "random_links"]
+
+
+def create_links(
+    peer: PeerState,
+    k_links: int,
+    try_connect: Callable[[int, int], bool],
+    disconnect: Callable[[int, int], None],
+    upload_mbps: "np.ndarray | None" = None,
+    hysteresis: int = 2,
+) -> bool:
+    """Run Algorithm 5 for one peer; True when the link set changed.
+
+    ``try_connect(p, u)`` must enforce the K-incoming cap on ``u`` and
+    return whether the connection was accepted; ``disconnect(p, u)``
+    releases one.
+
+    ``hysteresis`` biases the bucket choice toward an *already
+    established* link: a challenger replaces it only when its bitmap
+    covers at least that many more of the neighborhood. Without it the
+    bucket argmax flips whenever gossip refreshes a bitmap and the
+    network never quiesces.
+    """
+    if not peer.known_bitmap:
+        return False
+    buckets: dict[int, list[int]] = defaultdict(list)
+    for friend in peer.known_bitmap:
+        if friend != peer.node:
+            buckets[peer.bucket_of(friend)].append(friend)
+
+    changed = False
+    table = peer.table
+    coverage = peer.known_coverage
+    for bucket in sorted(buckets):
+        members = buckets[bucket]
+        chosen = picker(members, coverage, upload_mbps)
+        chosen = _stability_bias(peer, members, chosen, hysteresis)
+        if chosen not in table.long_links:
+            # Make room: the bucket's redundant links go first.
+            if len(table.long_links) >= table.max_long:
+                _drop_bucket_redundant(peer, members, chosen, disconnect)
+            if len(table.long_links) < table.max_long and try_connect(peer.node, chosen):
+                table.long_links.add(chosen)
+                changed = True
+        # Lines 12-16: drop established links that share the bucket.
+        for other in members:
+            if other != chosen and other in table.long_links:
+                table.long_links.discard(other)
+                disconnect(peer.node, other)
+                changed = True
+    if _fill_remaining_budget(peer, k_links, try_connect):
+        changed = True
+    return changed
+
+
+def _stability_bias(peer: PeerState, members, chosen: int, hysteresis: int) -> int:
+    """Prefer an established same-bucket link unless clearly beaten."""
+    if chosen in peer.table.long_links or hysteresis <= 0:
+        return chosen
+    established = [m for m in members if m in peer.table.long_links]
+    if not established:
+        return chosen
+    coverage = peer.known_coverage
+    best_existing = max(established, key=lambda f: (coverage.get(f, 0), -f))
+    gain = coverage.get(chosen, 0) - coverage.get(best_existing, 0)
+    return chosen if gain >= hysteresis else best_existing
+
+
+def _drop_bucket_redundant(peer: PeerState, members, chosen: int, disconnect) -> None:
+    """Free budget by dropping same-bucket links before adding ``chosen``."""
+    for other in members:
+        if other != chosen and other in peer.table.long_links:
+            peer.table.long_links.discard(other)
+            disconnect(peer.node, other)
+
+
+def _fill_remaining_budget(peer: PeerState, k_links: int, try_connect) -> bool:
+    """Spend leftover link budget on friends not yet covered in <= 2 hops.
+
+    Early in construction most friendship bitmaps are near-empty and
+    collide into one LSH bucket, so the one-per-bucket rule alone would
+    leave peers badly under-linked. SELECT's stated goal is to reach the
+    *maximum number of the social neighborhood* with minimum hops
+    (§III-A), so remaining budget goes to the friends that extend 2-hop
+    coverage the most: uncovered friends first, richer bitmaps first.
+    """
+    table = peer.table
+    if len(table.long_links) >= k_links or not peer.known_bitmap:
+        return False
+    covered: set[int] = set(table.long_links)
+    for w in table.long_links:
+        bitmap = peer.known_bitmap.get(w)
+        if bitmap is not None:
+            covered.update(int(x) for x in peer.codec.decode(bitmap))
+    coverage = peer.known_coverage
+    candidates = sorted(
+        (f for f in peer.known_bitmap if f != peer.node and f not in table.long_links),
+        key=lambda f: (f in covered, -coverage.get(f, 0), f),
+    )
+    changed = False
+    for cand in candidates:
+        if len(table.long_links) >= k_links:
+            break
+        if try_connect(peer.node, cand):
+            table.long_links.add(cand)
+            changed = True
+    return changed
+
+
+def random_links(
+    peer: PeerState,
+    k_links: int,
+    try_connect: Callable[[int, int], bool],
+    rng: np.random.Generator,
+) -> bool:
+    """Ablation variant: long links sampled uniformly from known friends.
+
+    Replaces the LSH bucketing so experiments can isolate its effect; the
+    incoming cap and budget still apply.
+    """
+    known = [f for f in peer.known_bitmap if f != peer.node]
+    if not known:
+        return False
+    changed = False
+    table = peer.table
+    want = min(k_links, len(known))
+    candidates = list(rng.permutation(known))
+    for cand in candidates:
+        if len(table.long_links) >= want:
+            break
+        cand = int(cand)
+        if cand in table.long_links:
+            continue
+        if try_connect(peer.node, cand):
+            table.long_links.add(cand)
+            changed = True
+    return changed

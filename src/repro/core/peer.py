@@ -1,0 +1,201 @@
+"""Per-peer local state (paper Table I) plus gossip-learned knowledge.
+
+Table I lists four variables: the identifier ``D_p``, the routing table
+``R_p``, the social neighborhood ``C_p``, and the lookahead set ``L_p``.
+On top of those, the gossip protocol (Algorithms 3–4) accumulates what the
+peer has *learned* about each friend — mutual-friend counts (for Eq. 2
+strength) and friendship bitmaps (for LSH link selection) — and the
+recovery mechanism tracks each contact's online behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.availability import OnlineBehavior
+from repro.overlay.base import RoutingTable
+from repro.social.bitmaps import BitmapCodec
+from repro.util.bitset import popcount
+
+__all__ = ["PeerState"]
+
+
+class PeerState:
+    """Everything one SELECT peer knows locally."""
+
+    __slots__ = (
+        "node",
+        "identifier",
+        "neighborhood",
+        "neighborhood_set",
+        "table",
+        "codec",
+        "known_mutual",
+        "known_bitmap",
+        "lookahead",
+        "behavior",
+        "joined",
+        "moves_done",
+        "stable_rounds",
+        "link_change_budget",
+        "lsh_family",
+        "k_buckets",
+        "known_bucket",
+        "known_coverage",
+        "_top2",
+        "last_anchor_pair",
+    )
+
+    def __init__(
+        self,
+        node: int,
+        neighborhood: np.ndarray,
+        k_links: int,
+        cma_threshold: float = 0.5,
+        cma_min_observations: int = 3,
+    ):
+        self.node = node
+        #: ``D_p`` — position on the unit ring (assigned by projection).
+        self.identifier = 0.0
+        #: ``C_p`` — identifiers of the peers hosting this user's friends.
+        self.neighborhood = np.asarray(neighborhood, dtype=np.int64)
+        self.neighborhood_set = frozenset(int(v) for v in self.neighborhood)
+        #: ``R_p`` — routing table (2 short-range + up to K long-range).
+        self.table = RoutingTable(node, k_links)
+        #: bitmap codec anchored to ``C_p`` (bit i == neighborhood[i]).
+        self.codec = BitmapCodec(self.neighborhood)
+        #: gossip-learned ``|C_p ∩ C_u|`` per friend u.
+        self.known_mutual: dict[int, int] = {}
+        #: gossip-learned friendship bitmap per friend u (packed words).
+        self.known_bitmap: dict[int, np.ndarray] = {}
+        #: ``L_p`` — links maintained by each routing-table neighbor.
+        self.lookahead: dict[int, frozenset[int]] = {}
+        #: CMA availability tracking per contact (recovery, §III-F).
+        self.behavior = OnlineBehavior(
+            threshold=cma_threshold, min_observations=cma_min_observations
+        )
+        #: whether this peer has joined the overlay yet (growth model).
+        self.joined = False
+        #: identifier relocations performed so far (bounded by config).
+        self.moves_done = 0
+        #: consecutive rounds without a link change; link reassignment
+        #: pauses once this passes the config's stabilize_after (and
+        #: resumes when a new friend is learned through gossip).
+        self.stable_rounds = 0
+        #: remaining rounds in which this peer may change links; set by
+        #: the overlay from config. Guarantees quiescence even for peers
+        #: locked in mutual-feedback oscillations.
+        self.link_change_budget = 2**31
+        #: LSH family anchored to this peer's neighborhood (set by the
+        #: overlay before gossip starts; None = compute buckets on demand).
+        self.lsh_family = None
+        #: bucket count used for cached bucket assignments.
+        self.k_buckets = k_links
+        #: cached LSH bucket per learned friend bitmap (refreshed at learn
+        #: time — bitmaps only change when re-learned, so hashing them
+        #: every round would be pure waste).
+        self.known_bucket: dict[int, int] = {}
+        #: cached popcount (neighborhood coverage) per learned bitmap.
+        self.known_coverage: dict[int, int] = {}
+        #: incrementally maintained two strongest known friends. Mutual
+        #: counts are static for a fixed social graph, so the top-2 never
+        #: needs re-ranking of previously seen friends.
+        self._top2: list[int] = []
+        #: the anchor pair the peer last relocated for. A peer moves at
+        #: most once per distinct anchor pair: re-moving because the
+        #: anchors themselves drifted is the chase dynamic that contracts
+        #: the whole network onto one point.
+        self.last_anchor_pair: "tuple | None" = None
+
+    # -- strength (Eq. 2) from gossip-learned mutual counts ------------------
+
+    def strength(self, friend: int) -> float:
+        """``s(p, u) = |C_p ∩ C_u| / |C_p|`` using learned mutual counts."""
+        size = len(self.neighborhood)
+        if size == 0:
+            return 0.0
+        return self.known_mutual.get(friend, 0) / size
+
+    def strongest_known(self, k: int = 2, among=None) -> list[int]:
+        """Top-``k`` known friends by strength (deterministic tie-break)."""
+        if among is None and k <= 2:
+            return self._top2[:k]
+        candidates = self.known_mutual.keys() if among is None else among
+        ranked = sorted(
+            (f for f in candidates if f in self.known_mutual),
+            key=lambda f: (-self.known_mutual[f], f),
+        )
+        return ranked[:k]
+
+    # -- knowledge updates -----------------------------------------------------
+
+    def learn_exchange(self, friend: int, mutual: int, bitmap: np.ndarray, friend_links) -> None:
+        """Fold in the result of one gossip exchange with ``friend``."""
+        is_new = friend not in self.known_mutual
+        self.known_mutual[friend] = int(mutual)
+        if is_new:
+            # New information about an unseen friend re-opens link selection.
+            self.stable_rounds = 0
+            self._insert_top2(friend)
+        self.known_bitmap[friend] = bitmap
+        self.known_coverage[friend] = popcount(bitmap)
+        if self.lsh_family is not None:
+            self.known_bucket[friend] = self.lsh_family.bucket(bitmap, self.k_buckets)
+        self.lookahead[friend] = frozenset(int(w) for w in friend_links)
+
+    def _insert_top2(self, friend: int) -> None:
+        """Maintain the two strongest known friends incrementally.
+
+        Valid because mutual-friend counts are static for a fixed social
+        graph: a friend's rank never changes after it is first learned.
+        """
+        ranked = sorted(
+            set(self._top2) | {friend},
+            key=lambda f: (-self.known_mutual[f], f),
+        )
+        self._top2 = ranked[:2]
+
+    def bucket_of(self, friend: int) -> int:
+        """Cached LSH bucket of a learned friend (0 when no family set)."""
+        bucket = self.known_bucket.get(friend)
+        if bucket is not None:
+            return bucket
+        if self.lsh_family is None:
+            return 0
+        bucket = self.lsh_family.bucket(self.known_bitmap[friend], self.k_buckets)
+        self.known_bucket[friend] = bucket
+        return bucket
+
+    def forget_peer(self, peer: int) -> None:
+        """Drop all knowledge about a departed/replaced contact."""
+        self.known_bitmap.pop(peer, None)
+        self.known_bucket.pop(peer, None)
+        self.known_coverage.pop(peer, None)
+        self.lookahead.pop(peer, None)
+        self.behavior.forget(peer)
+
+    # -- convenience -------------------------------------------------------------
+
+    def friendship_bitmap_of(self, friend_links) -> np.ndarray:
+        """Bitmap over ``C_p`` of which of our friends ``friend`` links to."""
+        return self.codec.encode(friend_links)
+
+    def covered_friends(self) -> set[int]:
+        """Friends reachable in <= 2 hops via ``R_p`` and ``L_p``."""
+        reach: set[int] = set()
+        direct = self.table.all_links()
+        for f in self.neighborhood_set:
+            if f in direct:
+                reach.add(f)
+                continue
+            for w, wlinks in self.lookahead.items():
+                if w in direct and f in wlinks:
+                    reach.add(f)
+                    break
+        return reach
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PeerState(node={self.node}, id={self.identifier:.4f}, "
+            f"links={len(self.table.all_links())}, friends={len(self.neighborhood)})"
+        )

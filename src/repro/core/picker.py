@@ -1,0 +1,51 @@
+"""Connection picker (paper Algorithm 6).
+
+Within one LSH bucket, candidates are sorted by how many of the peer's
+social neighborhood they already connect to (maximum coverage first); if
+the runner-up offers strictly better upload bandwidth than the leader, it
+wins — the paper's latency-awareness tie-break ("if PS(0).bw < PS(1).bw
+return PS(1)").
+
+Coverage values are the cached bitmap popcounts maintained by
+:class:`~repro.core.peer.PeerState` at gossip-learn time.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["sort_candidates", "picker"]
+
+
+def sort_candidates(
+    candidates: Sequence[int],
+    coverage: Mapping[int, int],
+    upload_mbps: "np.ndarray | None" = None,
+) -> list[int]:
+    """Algorithm 6's ``sortPeers``: coverage desc, bandwidth desc, id asc."""
+
+    def key(peer: int):
+        bw = float(upload_mbps[peer]) if upload_mbps is not None else 0.0
+        return (-coverage.get(peer, 0), -bw, peer)
+
+    return sorted(candidates, key=key)
+
+
+def picker(
+    candidates: Sequence[int],
+    coverage: Mapping[int, int],
+    upload_mbps: "np.ndarray | None" = None,
+) -> int:
+    """Algorithm 6: choose the bucket member to link to."""
+    if not candidates:
+        raise ValueError("picker called on an empty bucket")
+    if len(candidates) == 1:
+        return candidates[0]
+    ranked = sort_candidates(candidates, coverage, upload_mbps)
+    if upload_mbps is not None:
+        first, second = ranked[0], ranked[1]
+        if float(upload_mbps[first]) < float(upload_mbps[second]):
+            return second
+    return ranked[0]

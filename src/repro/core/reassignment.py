@@ -1,0 +1,80 @@
+"""Identifier reassignment (paper Algorithm 2).
+
+Each round a peer relocates to the "centroid" of its two strongest social
+friends — the midpoint of the shorter ring arc between their identifiers.
+The paper motivates the two-friend centroid over the all-friends centroid:
+for high-degree users, friends with very different strength may sit in
+totally different ID regions, and averaging them all would park the peer
+in no-man's-land.
+"""
+
+from __future__ import annotations
+
+from repro.core.peer import PeerState
+from repro.idspace.space import ring_distance, ring_midpoint
+
+__all__ = ["evaluate_position", "apply_reassignment"]
+
+
+def evaluate_position(
+    peer: PeerState,
+    ids,
+    eligible=None,
+    tolerance: float = 1e-3,
+    merge_radius: float = 0.05,
+) -> float:
+    """Algorithm 2's ``evaluatePosition`` — the proposed new identifier.
+
+    Uses the strengths the peer has *learned through gossip* (Eq. 2 with
+    ``known_mutual``). With two known friends the candidate is their ring
+    midpoint; with exactly one it moves next to that friend; with none the
+    peer stays put.
+
+    Three guards keep the dynamic stable (the literal Algorithm 2, applied
+    unconditionally by every peer every round, is a consensus iteration
+    that contracts the whole connected network onto one point, destroying
+    the ring — the opposite of Figure 8's clustered-but-spread layout):
+
+    * **cluster guard** — with two anchors, relocate only when the anchors
+      are within ``merge_radius`` of each other, i.e. when the midpoint is
+      inside a genuine social cluster rather than in the no-man's land
+      between two distant regions;
+    * **once-per-anchor-pair** — a peer relocates at most once for a given
+      anchor pair; re-moving because the anchors themselves drifted is the
+      chase dynamic that collapses dense networks;
+    * **improvement gate** — relocate only when the move shrinks the worst
+      anchor distance by more than ``tolerance``, so every move is
+      strictly productive.
+    """
+    top = peer.strongest_known(k=2, among=eligible)
+    if not top:
+        return peer.identifier
+    pair = tuple(sorted(top))
+    if pair == peer.last_anchor_pair:
+        return peer.identifier
+    anchors = [float(ids[f]) for f in top]
+    if len(anchors) == 1:
+        # Only a degree-1 user trusts a single anchor; for everyone else
+        # one gossiped friend is too little information to relocate on.
+        if len(peer.neighborhood) != 1:
+            return peer.identifier
+        candidate = ring_midpoint(peer.identifier, anchors[0])
+    elif ring_distance(anchors[0], anchors[1]) > merge_radius:
+        # Anchors live in different ID regions; the midpoint is no-man's
+        # land and chasing either one lets clusters drift into each other.
+        return peer.identifier
+    else:
+        candidate = ring_midpoint(anchors[0], anchors[1])
+    current_obj = max(ring_distance(peer.identifier, a) for a in anchors)
+    candidate_obj = max(ring_distance(candidate, a) for a in anchors)
+    if candidate_obj + tolerance < current_obj:
+        peer.last_anchor_pair = pair
+        return float(candidate)
+    return peer.identifier
+
+
+def apply_reassignment(peer: PeerState, new_id: float, tolerance: float) -> bool:
+    """Commit a proposed identifier; True when it counts as a move."""
+    moved = ring_distance(peer.identifier, new_id) > tolerance
+    peer.identifier = float(new_id)
+    return moved

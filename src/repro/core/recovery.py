@@ -1,0 +1,114 @@
+"""Recovery mechanism under churn (paper Section III-F).
+
+Peers periodically ping their routing-table contacts and fold the results
+into each contact's Cumulative Moving Average. On an unresponsive contact:
+
+* **high CMA** — the user is normally online; keep the connection (tearing
+  it down would trigger a chain of reassignments for nothing);
+* **low CMA** — the user is mostly offline; replace it with another peer
+  from the *same LSH bucket* (a peer with a similar friendship bitmap
+  covers the same zone of the neighborhood).
+
+Ring (short-range) links are re-stitched over the live population, which
+is the standard DHT stabilization every ring overlay performs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.select import SelectOverlay
+from repro.overlay.ring import ring_links
+from repro.util.bitset import hamming_distance
+
+__all__ = ["RecoveryManager"]
+
+
+class RecoveryManager:
+    """Drives SELECT's §III-F maintenance for one churn tick."""
+
+    def __init__(self, overlay: SelectOverlay):
+        self.overlay = overlay
+        self.replacements = 0
+        self.kept_unresponsive = 0
+
+    def tick(self, online: np.ndarray) -> None:
+        """One maintenance period: ping contacts, repair links and ring."""
+        ov = self.overlay
+        for v in range(ov.graph.num_nodes):
+            if not online[v]:
+                continue
+            peer = ov.peers[v]
+            for contact in list(peer.table.long_links):
+                peer.behavior.observe(contact, bool(online[contact]))
+                if online[contact]:
+                    continue
+                if peer.behavior.should_replace(contact):
+                    self._replace(v, contact, online)
+                else:
+                    # Temporary failure: keep the link (avoids reassignment
+                    # chains at the peers connected to us).
+                    self.kept_unresponsive += 1
+        self._repair_ring(online)
+
+    # -- link replacement -----------------------------------------------------------
+
+    def _replace(self, v: int, dead: int, online: np.ndarray) -> None:
+        """Swap ``dead`` for a live same-bucket peer (similar bitmap)."""
+        ov = self.overlay
+        peer = ov.peers[v]
+        candidate = self._same_bucket_candidate(peer, dead, online)
+        if candidate is None:
+            candidate = self._most_similar_candidate(peer, dead, online)
+        peer.table.long_links.discard(dead)
+        ov._disconnect(v, dead)
+        peer.forget_peer(dead)
+        if candidate is not None and ov._try_connect_recovery(v, candidate):
+            peer.table.long_links.add(candidate)
+            self.replacements += 1
+
+    def _same_bucket_candidate(self, peer, dead: int, online: np.ndarray) -> "int | None":
+        """A live, unlinked known friend sharing the dead peer's LSH bucket."""
+        if dead not in peer.known_bitmap:
+            return None
+        dead_bucket = peer.bucket_of(dead)
+        best = None
+        for friend in peer.known_bitmap:
+            if friend == dead or friend in peer.table.long_links or not online[friend]:
+                continue
+            if peer.bucket_of(friend) == dead_bucket:
+                if best is None or friend < best:
+                    best = friend
+        return best
+
+    def _most_similar_candidate(self, peer, dead: int, online: np.ndarray) -> "int | None":
+        """Fallback: live known friend with the closest bitmap (Hamming)."""
+        dead_bitmap = peer.known_bitmap.get(dead)
+        best = None
+        best_dist = None
+        for friend, bitmap in peer.known_bitmap.items():
+            if friend == dead or friend in peer.table.long_links or not online[friend]:
+                continue
+            if dead_bitmap is None:
+                dist = 0
+            else:
+                dist = hamming_distance(dead_bitmap, bitmap)
+            if best_dist is None or dist < best_dist or (dist == best_dist and friend < best):
+                best = friend
+                best_dist = dist
+        return best
+
+    # -- ring stabilization ------------------------------------------------------------
+
+    def _repair_ring(self, online: np.ndarray) -> None:
+        """Re-stitch successor/predecessor links over the live peers."""
+        ov = self.overlay
+        live = np.flatnonzero(online)
+        if live.size < 2:
+            return
+        live_ids = ov.ids[live]
+        pairs = ring_links(live_ids)
+        for pos, node in enumerate(live):
+            pred_local, succ_local = pairs[pos]
+            ov.tables[int(node)].predecessor = int(live[pred_local])
+            ov.tables[int(node)].successor = int(live[succ_local])

@@ -1,0 +1,331 @@
+"""The SELECT overlay facade (paper Section III).
+
+Construction pipeline:
+
+1. **Growth + projection** — a join order from the growth model [19] feeds
+   Algorithm 1: invited users get identifiers adjacent to their inviter,
+   independent joiners get uniform hashes.
+2. **Bootstrap links** — at join time a peer immediately connects to its
+   inviter and a few already-joined friends (this is why SELECT needs far
+   fewer iterations than Vitis/OMen, Figure 5's discussion).
+3. **Gossip rounds** — a vertex-centric superstep per round: every peer
+   exchanges with a random social friend (Algs. 3–4), re-evaluates its
+   identifier (Alg. 2) and re-selects its long-range links via LSH
+   (Algs. 5–6). Rounds run until quiescence; the count is the Figure 5
+   metric.
+4. **Ring maintenance** — successor/predecessor links are refreshed from
+   the (re-assigned) identifiers after every round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SelectConfig
+from repro.core.gossip import exchange, select_gossip_partner
+from repro.core.links import create_links, random_links
+from repro.core.peer import PeerState
+from repro.core.projection import assign_initial_ids
+from repro.core.reassignment import apply_reassignment, evaluate_position
+from repro.graphs.graph import SocialGraph
+from repro.idspace.space import normalize as normalize_id
+from repro.idspace.space import ring_distance
+from repro.lsh.bitsampling import BitSamplingLsh
+from repro.net.bandwidth import BandwidthModel
+from repro.net.growth import GrowthModel, JoinEvent
+from repro.overlay.base import OverlayNetwork
+from repro.overlay.ring import ring_links
+from repro.sim.engine import SuperstepEngine, VertexContext
+from repro.sim.trace import TraceRecorder
+from repro.util.rng import as_generator
+
+__all__ = ["SelectOverlay"]
+
+
+class _GossipProgram:
+    """Vertex program running one SELECT round for one peer."""
+
+    def __init__(self, overlay: "SelectOverlay", rng: np.random.Generator):
+        self.overlay = overlay
+        self.rng = rng
+
+    def compute(self, ctx: VertexContext, vertex: int, messages: list) -> None:
+        ov = self.overlay
+        peer = ov.peers[vertex]
+        if not peer.joined:
+            ctx.vote_to_halt()
+            return
+        cfg = ov.config
+        # Active thread (Alg. 3): gossip with random social friends.
+        for _ in range(cfg.exchanges_per_round):
+            partner = select_gossip_partner(peer, ov.joined, self.rng)
+            if partner is not None:
+                exchange(peer, ov.peers[partner])
+        # Alg. 2: propose a new identifier (applied at the round barrier).
+        if cfg.reassign_ids and peer.moves_done < cfg.max_moves:
+            ov.pending_ids[vertex] = evaluate_position(
+                peer,
+                ov.ids,
+                tolerance=cfg.movement_tolerance,
+                merge_radius=cfg.merge_radius,
+            )
+        else:
+            ov.pending_ids[vertex] = peer.identifier
+        # Algs. 5-6: link reassignment. A peer counts as changed only when
+        # its link set actually differs from the round's start (drop+re-add
+        # of the same link is a no-op, not churn).
+        before = set(peer.table.long_links)
+        if peer.stable_rounds < cfg.stabilize_after and peer.link_change_budget > 0:
+            if cfg.use_lsh:
+                create_links(
+                    peer,
+                    ov.k_links,
+                    ov._try_connect,
+                    ov._disconnect,
+                    ov.upload_mbps,
+                )
+            else:
+                random_links(peer, ov.k_links, ov._try_connect, self.rng)
+        if peer.table.long_links != before:
+            peer.stable_rounds = 0
+            peer.link_change_budget -= 1
+            ov.round_link_changes += 1
+        else:
+            peer.stable_rounds += 1
+
+
+class SelectOverlay(OverlayNetwork):
+    """SELECT's socially-embedded small-world overlay."""
+
+    name = "SELECT"
+    iterative = True
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        k_links: int | None = None,
+        config: SelectConfig | None = None,
+        bandwidth: BandwidthModel | None = None,
+    ):
+        self.config = config or SelectConfig()
+        super().__init__(graph, k_links if k_links is not None else self.config.k_links)
+        self.bandwidth = bandwidth
+        self.upload_mbps = bandwidth.upload_mbps if bandwidth is not None else None
+        n = graph.num_nodes
+        self.peers = [
+            PeerState(
+                v,
+                graph.neighbors(v),
+                self.k_links,
+                cma_threshold=self.config.cma_threshold,
+                cma_min_observations=self.config.cma_min_observations,
+            )
+            for v in range(n)
+        ]
+        # Peers share each other's routing tables through these states, so
+        # tables must alias the base-class list.
+        self.tables = [p.table for p in self.peers]
+        self.joined = np.zeros(n, dtype=bool)
+        self.pending_ids = np.zeros(n, dtype=np.float64)
+        self.round_link_changes = 0
+        self._quiet_rounds = 0
+        self._incoming_sources: list[set[int]] = [set() for _ in range(n)]
+        self._lsh_families: dict[int, BitSamplingLsh] = {}
+        self._lsh_seed = 0
+        self.trace = TraceRecorder()
+        self.join_events: list[JoinEvent] = []
+
+    # -- construction ----------------------------------------------------------
+
+    def build(self, seed=None) -> "SelectOverlay":
+        """Run the full construction pipeline (projection -> gossip rounds)."""
+        rng = as_generator(seed)
+        self._lsh_seed = int(rng.integers(2**31 - 1))
+        self._project(rng)
+        self._bootstrap(rng)
+        self._refresh_ring()
+        program = _GossipProgram(self, rng)
+        engine = SuperstepEngine(self.graph.num_nodes, program)
+        engine.run(self.config.max_rounds, stop_when=self._end_of_round)
+        self.iterations = engine.supersteps_run
+        self._mark_built()
+        return self
+
+    def _project(self, rng: np.random.Generator) -> None:
+        """Growth model -> join order -> Algorithm 1 identifiers."""
+        n = self.graph.num_nodes
+        growth = GrowthModel(
+            self.graph,
+            initial_rate=max(8.0, n / 25.0),
+            decay=0.92,
+            seed=rng,
+        )
+        self.join_events = growth.join_order()
+        self.ids = assign_initial_ids(
+            n,
+            self.join_events,
+            spread=self.config.invite_spread,
+            seed=rng,
+        )
+        for peer in self.peers:
+            peer.identifier = float(self.ids[peer.node])
+            peer.joined = True
+            peer.link_change_budget = self.config.max_link_changes
+            peer.lsh_family = self.lsh_family_for(peer.node)
+            peer.k_buckets = self.k_links
+        self.joined[:] = True
+        self.pending_ids = self.ids.copy()
+
+    def _bootstrap(self, rng: np.random.Generator) -> None:
+        """Immediate links to already-joined social friends at join time."""
+        budget = self.config.bootstrap_links
+        budget = self.k_links if budget is None else min(budget, self.k_links)
+        joined_so_far = np.zeros(self.graph.num_nodes, dtype=bool)
+        for event in self.join_events:
+            peer = self.peers[event.user]
+            candidates: list[int] = []
+            if event.inviter is not None:
+                candidates.append(event.inviter)
+            friends = peer.neighborhood[joined_so_far[peer.neighborhood]]
+            if friends.size:
+                extras = [int(f) for f in rng.permutation(friends) if f not in candidates]
+                candidates.extend(extras)
+            for cand in candidates:
+                if len(peer.table.long_links) >= budget:
+                    break
+                if self._try_connect(event.user, cand):
+                    peer.table.long_links.add(cand)
+            joined_so_far[event.user] = True
+
+    def _refresh_ring(self) -> None:
+        """Recompute short-range successor/predecessor links from ids."""
+        pairs = ring_links(self.ids)
+        for v, (pred, succ) in enumerate(pairs):
+            self.tables[v].predecessor = pred
+            self.tables[v].successor = succ
+
+    def _end_of_round(self, engine: SuperstepEngine) -> bool:
+        """Round barrier: publish pending ids, refresh ring, test convergence."""
+        tol = self.config.movement_tolerance
+        moves = 0
+        taken = set()
+        for v, peer in enumerate(self.peers):
+            new_id = float(self.pending_ids[v])
+            # Peers relocating to the midpoint of the same anchor pair
+            # would stack on one position; nudge by sub-tolerance steps so
+            # identifiers stay distinct (ties would otherwise degrade
+            # greedy routing's distance comparisons).
+            while new_id in taken:
+                new_id = float(normalize_id(new_id + 2.0**-40))
+            taken.add(new_id)
+            if apply_reassignment(peer, new_id, tol):
+                moves += 1
+                peer.moves_done += 1
+            self.ids[v] = peer.identifier
+        self._refresh_ring()
+        rnd = engine.supersteps_run
+        self.trace.record("id_moves", rnd, moves)
+        self.trace.record("link_changes", rnd, self.round_link_changes)
+        # Quiet round: identifier movement and link flux both down to a
+        # residual trickle (<= 2% of peers). Gossip keeps discovering the
+        # occasional unseen friend long after the overlay is organized;
+        # that long tail is maintenance, not construction.
+        noise_floor = max(1, self.graph.num_nodes // 50)
+        if moves <= noise_floor and self.round_link_changes <= noise_floor:
+            self._quiet_rounds += 1
+        else:
+            self._quiet_rounds = 0
+        self.round_link_changes = 0
+        return self._quiet_rounds >= self.config.convergence_rounds
+
+    # -- connection admission (K incoming cap, §III-D) ---------------------------
+
+    def _try_connect(self, src: int, dst: int) -> bool:
+        """Charge an incoming slot on ``dst``; evict a slower source if full."""
+        if src == dst:
+            return False
+        sources = self._incoming_sources[dst]
+        if src in sources:
+            return True
+        if len(sources) < self.k_links:
+            sources.add(src)
+            self.incoming_count[dst] = len(sources)
+            return True
+        if self.upload_mbps is not None:
+            # Paper: accept when the newcomer has better bandwidth than an
+            # existing connection; the slowest existing source is evicted.
+            slowest = min(sources, key=lambda s: (float(self.upload_mbps[s]), -s))
+            if float(self.upload_mbps[src]) > float(self.upload_mbps[slowest]):
+                sources.discard(slowest)
+                self.tables[slowest].long_links.discard(dst)
+                sources.add(src)
+                self.incoming_count[dst] = len(sources)
+                return True
+        return False
+
+    def _disconnect(self, src: int, dst: int) -> None:
+        """Release ``src``'s incoming slot on ``dst``."""
+        sources = self._incoming_sources[dst]
+        sources.discard(src)
+        self.incoming_count[dst] = len(sources)
+
+    def _try_connect_recovery(self, src: int, dst: int, slack: int = 2) -> bool:
+        """Admission for recovery replacements: the cap gets some slack.
+
+        At steady state every peer's incoming budget is full, so a strict
+        cap would make §III-F replacements impossible exactly when they
+        are needed; churn repair is allowed to oversubscribe slightly.
+        """
+        if src == dst:
+            return False
+        sources = self._incoming_sources[dst]
+        if src in sources:
+            return True
+        if len(sources) < self.k_links + slack:
+            sources.add(src)
+            self.incoming_count[dst] = len(sources)
+            return True
+        return False
+
+    # -- LSH plumbing ---------------------------------------------------------------
+
+    def lsh_family_for(self, vertex: int) -> BitSamplingLsh:
+        """The bit-sampling family anchored to ``vertex``'s neighborhood."""
+        family = self._lsh_families.get(vertex)
+        if family is None:
+            nbits = len(self.peers[vertex].neighborhood)
+            family = BitSamplingLsh(
+                nbits,
+                num_samples=self.config.lsh_samples,
+                seed=self._lsh_seed + vertex,
+            )
+            self._lsh_families[vertex] = family
+        return family
+
+    # -- convergence / analysis helpers ------------------------------------------------
+
+    def social_link_fraction(self) -> float:
+        """Fraction of long links that connect social friends."""
+        self._check_built()
+        total = 0
+        social = 0
+        for v, peer in enumerate(self.peers):
+            for w in peer.table.long_links:
+                total += 1
+                if self.graph.has_edge(v, w):
+                    social += 1
+        return social / total if total else 0.0
+
+    def mean_friend_distance(self) -> float:
+        """Average ring distance between socially connected peers.
+
+        Figure 8's scalar: after reassignment, social clusters occupy
+        compact ID regions, so this shrinks far below the 0.25 expected
+        for uniformly random placement.
+        """
+        total = 0.0
+        count = 0
+        for u, v in self.graph.edges():
+            total += ring_distance(float(self.ids[u]), float(self.ids[v]))
+            count += 1
+        return total / count if count else 0.0

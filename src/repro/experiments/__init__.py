@@ -1,0 +1,25 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+===================  =============================================
+Paper artifact       Module
+===================  =============================================
+Table II             :mod:`repro.experiments.table2`
+§IV-C link sweep     :mod:`repro.experiments.conn_sweep`
+Figure 2 (hops)      :mod:`repro.experiments.fig2_hops`
+Figure 3 (relays)    :mod:`repro.experiments.fig3_relays`
+Figure 4 (load)      :mod:`repro.experiments.fig4_load`
+Figure 5 (iters)     :mod:`repro.experiments.fig5_iterations`
+Figure 6 (churn)     :mod:`repro.experiments.fig6_churn`
+Figure 7 (latency)   :mod:`repro.experiments.fig7_latency`
+Figure 8 (ids)       :mod:`repro.experiments.fig8_ids`
+===================  =============================================
+
+Every module exposes ``run(config) -> list[dict]`` (raw rows) and
+``report(config) -> str`` (the formatted table the paper's artifact
+corresponds to). ``repro.experiments.cli`` wires them to a command line:
+``select-repro fig3 --preset quick``.
+"""
+
+from repro.experiments.common import ExperimentConfig
+
+__all__ = ["ExperimentConfig"]

@@ -1,0 +1,105 @@
+"""Command-line harness: ``select-repro <experiment> [--preset quick]``.
+
+Regenerates any of the paper's tables/figures as text reports. ``all``
+runs every experiment in paper order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablation,
+    conn_sweep,
+    fig2_hops,
+    fig3_relays,
+    fig4_load,
+    fig5_iterations,
+    fig6_churn,
+    fig7_latency,
+    fig8_ids,
+    geo,
+    table2,
+)
+from repro.experiments.common import ExperimentConfig
+
+__all__ = ["main", "EXPERIMENTS"]
+
+EXPERIMENTS = {
+    "table2": table2,
+    "ablation": ablation,
+    "conn-sweep": conn_sweep,
+    "fig2": fig2_hops,
+    "fig3": fig3_relays,
+    "fig4": fig4_load,
+    "fig5": fig5_iterations,
+    "fig6": fig6_churn,
+    "fig7": fig7_latency,
+    "fig8": fig8_ids,
+    "geo": geo,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="select-repro",
+        description="Regenerate the SELECT paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument("--preset", default="quick", choices=["quick", "default", "full"])
+    parser.add_argument("--num-nodes", type=int, default=None, help="override graph size")
+    parser.add_argument("--trials", type=int, default=None, help="override trial count")
+    parser.add_argument("--seed", type=int, default=None, help="override root seed")
+    parser.add_argument(
+        "--datasets",
+        default=None,
+        help="comma-separated subset, e.g. facebook,slashdot",
+    )
+    parser.add_argument(
+        "--export",
+        default=None,
+        metavar="DIR",
+        help="also write the raw rows as CSV into this directory",
+    )
+    return parser
+
+
+def config_from_args(args) -> ExperimentConfig:
+    config = ExperimentConfig.preset(args.preset)
+    overrides = {}
+    if args.num_nodes is not None:
+        overrides["num_nodes"] = args.num_nodes
+    if args.trials is not None:
+        overrides["trials"] = args.trials
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.datasets:
+        overrides["datasets"] = tuple(s.strip() for s in args.datasets.split(",") if s.strip())
+    return config.with_(**overrides) if overrides else config
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    config = config_from_args(args)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        module = EXPERIMENTS[name]
+        start = time.time()
+        print(module.report(config))
+        if args.export:
+            from repro.experiments.export import export_experiment
+
+            path = export_experiment(name, module, config, args.export)
+            print(f"[rows exported to {path}]", file=sys.stderr)
+        print(f"[{name}: {time.time() - start:.1f}s]\n", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,68 @@
+"""Export experiment rows to CSV/JSON for plotting.
+
+Every experiment's ``run()`` returns a list of flat-ish dicts; these
+helpers serialize them so the figures can be re-plotted with any tool
+(the paper's figures are line/bar charts over exactly these series).
+List-valued fields (histograms, per-bin series) are JSON-encoded inside
+the CSV cell so nothing is lost.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+
+from repro.util.exceptions import ConfigurationError
+
+__all__ = ["rows_to_csv", "rows_to_json", "export_experiment"]
+
+
+def _flatten(value):
+    if isinstance(value, (list, tuple, dict)):
+        return json.dumps(value)
+    return value
+
+
+def rows_to_csv(rows: list[dict], path: str) -> str:
+    """Write experiment rows to ``path`` as CSV; returns the path."""
+    if not rows:
+        raise ConfigurationError("no rows to export")
+    fieldnames: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: _flatten(v) for k, v in row.items()})
+    return path
+
+
+def rows_to_json(rows: list[dict], path: str) -> str:
+    """Write experiment rows to ``path`` as a JSON array; returns the path."""
+    if not rows:
+        raise ConfigurationError("no rows to export")
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(rows, fh, indent=2, default=float)
+        fh.write("\n")
+    return path
+
+
+def export_experiment(name: str, module, config, out_dir: str, fmt: str = "csv") -> str:
+    """Run one experiment module and export its rows.
+
+    ``module`` must expose ``run(config) -> list[dict]`` (every module in
+    :mod:`repro.experiments` does).
+    """
+    if fmt not in ("csv", "json"):
+        raise ConfigurationError(f"unknown export format {fmt!r}")
+    rows = module.run(config)
+    path = os.path.join(out_dir, f"{name}.{fmt}")
+    if fmt == "csv":
+        return rows_to_csv(rows, path)
+    return rows_to_json(rows, path)

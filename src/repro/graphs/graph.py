@@ -1,0 +1,162 @@
+"""The :class:`SocialGraph` container.
+
+A compact, immutable undirected graph over integer node ids ``0..n-1``.
+Both set-based and array-based neighbor views are precomputed because the
+two consumers differ: social-strength computation wants set intersections,
+while vectorized metrics want numpy arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.util.exceptions import DatasetError
+
+__all__ = ["SocialGraph"]
+
+
+class SocialGraph:
+    """Immutable undirected social graph over nodes ``0..n-1``.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of social users. Node ids are dense integers.
+    edges:
+        Iterable of ``(u, v)`` pairs. Self-loops and duplicates are
+        rejected so that degree counts stay meaningful.
+    name:
+        Optional human-readable label (dataset name).
+    """
+
+    __slots__ = ("_n", "_adj_sets", "_adj_arrays", "_degrees", "_num_edges", "name")
+
+    def __init__(self, num_nodes: int, edges: Iterable[tuple[int, int]], name: str = "graph"):
+        if num_nodes <= 0:
+            raise DatasetError(f"graph needs at least one node, got {num_nodes}")
+        self._n = int(num_nodes)
+        self.name = name
+        adj: list[set[int]] = [set() for _ in range(self._n)]
+        count = 0
+        for u, v in edges:
+            u = int(u)
+            v = int(v)
+            if u == v:
+                raise DatasetError(f"self-loop on node {u} is not a social connection")
+            if not (0 <= u < self._n and 0 <= v < self._n):
+                raise DatasetError(f"edge ({u}, {v}) out of range for n={self._n}")
+            if v in adj[u]:
+                continue  # tolerate duplicate listings of the same edge
+            adj[u].add(v)
+            adj[v].add(u)
+            count += 1
+        self._adj_sets: tuple[frozenset[int], ...] = tuple(frozenset(s) for s in adj)
+        self._adj_arrays: tuple[np.ndarray, ...] = tuple(
+            np.fromiter(sorted(s), dtype=np.int64, count=len(s)) for s in adj
+        )
+        self._degrees = np.array([len(s) for s in adj], dtype=np.int64)
+        self._num_edges = count
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of social users."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected friendship edges."""
+        return self._num_edges
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Read-only degree vector (do not mutate)."""
+        return self._degrees
+
+    def degree(self, u: int) -> int:
+        """Degree of node ``u``."""
+        return int(self._degrees[u])
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Sorted array of ``u``'s friends."""
+        return self._adj_arrays[u]
+
+    def neighbor_set(self, u: int) -> frozenset[int]:
+        """Frozen set of ``u``'s friends (for O(1) membership tests)."""
+        return self._adj_sets[u]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when ``u`` and ``v`` are friends."""
+        return v in self._adj_sets[u]
+
+    def average_degree(self) -> float:
+        """Mean friend count."""
+        return float(self._degrees.mean())
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate each undirected edge once, as ``(u, v)`` with ``u < v``."""
+        for u in range(self._n):
+            for v in self._adj_arrays[u]:
+                if u < v:
+                    yield (u, int(v))
+
+    def mutual_friends(self, u: int, v: int) -> int:
+        """Number of common friends of ``u`` and ``v``."""
+        return len(self._adj_sets[u] & self._adj_sets[v])
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SocialGraph(name={self.name!r}, nodes={self._n}, edges={self._num_edges})"
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_networkx(cls, nx_graph, name: str = "graph") -> "SocialGraph":
+        """Build from an (undirected) networkx graph, relabelling to 0..n-1."""
+        nodes = list(nx_graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        edges = ((index[u], index[v]) for u, v in nx_graph.edges())
+        return cls(len(nodes), edges, name=name)
+
+    def to_networkx(self):
+        """Export to a networkx :class:`~networkx.Graph` (for analysis)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self._n))
+        g.add_edges_from(self.edges())
+        return g
+
+    def largest_component(self) -> "SocialGraph":
+        """Restrict to the largest connected component (relabelled)."""
+        seen = np.zeros(self._n, dtype=bool)
+        best: list[int] = []
+        for start in range(self._n):
+            if seen[start]:
+                continue
+            stack = [start]
+            seen[start] = True
+            component = [start]
+            while stack:
+                u = stack.pop()
+                for v in self._adj_arrays[u]:
+                    v = int(v)
+                    if not seen[v]:
+                        seen[v] = True
+                        stack.append(v)
+                        component.append(v)
+            if len(component) > len(best):
+                best = component
+        index = {node: i for i, node in enumerate(sorted(best))}
+        keep = set(best)
+        edges = (
+            (index[u], index[v])
+            for u, v in self.edges()
+            if u in keep and v in keep
+        )
+        return SocialGraph(len(best), edges, name=self.name)

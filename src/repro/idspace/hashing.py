@@ -1,0 +1,43 @@
+"""Uniform hashing of user keys onto the identifier space.
+
+The paper assigns initial identifiers with SHA-1 (the classic DHT choice).
+We keep SHA-1 for fidelity — it is used purely as a uniform mapping, not
+for security — and fold the 160-bit digest down to a float64 in ``[0, 1)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["stable_digest", "uniform_hash", "uniform_hashes"]
+
+_SCALE = float(2**64)
+
+
+def stable_digest(key: "int | str | bytes", salt: int = 0) -> bytes:
+    """SHA-1 digest of ``key`` (process-independent, unlike ``hash()``)."""
+    if isinstance(key, bytes):
+        payload = key
+    elif isinstance(key, str):
+        payload = key.encode("utf-8")
+    elif isinstance(key, (int, np.integer)):
+        payload = int(key).to_bytes(16, "little", signed=True)
+    else:
+        raise TypeError(f"unhashable key type for stable_digest: {type(key)!r}")
+    if salt:
+        payload = salt.to_bytes(8, "little") + payload
+    return hashlib.sha1(payload).digest()
+
+
+def uniform_hash(key: "int | str | bytes", salt: int = 0) -> float:
+    """Map ``key`` uniformly onto ``[0, 1)`` (Algorithm 1's uniformHash)."""
+    digest = stable_digest(key, salt)
+    value = int.from_bytes(digest[:8], "little")
+    return value / _SCALE
+
+
+def uniform_hashes(keys, salt: int = 0) -> np.ndarray:
+    """Vector of :func:`uniform_hash` values for an iterable of keys."""
+    return np.array([uniform_hash(k, salt) for k in keys], dtype=np.float64)

@@ -1,0 +1,127 @@
+"""Ring arithmetic on the unit-interval identifier space ``[0, 1)``.
+
+All functions accept scalars or numpy arrays and broadcast; hot callers
+(routing, reassignment) pass whole arrays at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "normalize",
+    "ring_distance",
+    "ring_distances",
+    "signed_ring_delta",
+    "ring_midpoint",
+    "ring_interval_contains",
+    "IdSpace",
+]
+
+
+def normalize(x):
+    """Map any real value onto ``[0, 1)`` by wrapping around the ring.
+
+    ``np.mod(x, 1.0)`` rounds to exactly 1.0 for tiny negative inputs
+    (1 - eps is not representable near 1.0), which would put an identifier
+    *outside* the ring; that case folds back to 0.0.
+    """
+    out = np.mod(x, 1.0)
+    out = np.where(out >= 1.0, 0.0, out)
+    return float(out) if np.isscalar(x) or np.ndim(x) == 0 else out
+
+
+def ring_distance(a, b):
+    """Shorter-arc distance between identifiers ``a`` and ``b``.
+
+    ``d(a, b) = min(|a - b|, 1 - |a - b|)``; symmetric, bounded by 0.5.
+    """
+    if type(a) is float and type(b) is float:
+        # Scalar fast path: this sits on the reassignment/routing hot loop
+        # and the numpy ufunc machinery costs 10x the arithmetic here.
+        diff = abs(a - b) % 1.0
+        return diff if diff <= 0.5 else 1.0 - diff
+    diff = np.abs(np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64))
+    diff = np.mod(diff, 1.0)
+    out = np.minimum(diff, 1.0 - diff)
+    return float(out) if np.isscalar(a) and np.isscalar(b) else out
+
+
+def ring_distances(ids: np.ndarray, target: float) -> np.ndarray:
+    """Vectorized ring distance from every entry of ``ids`` to ``target``."""
+    diff = np.abs(ids - target)
+    return np.minimum(diff, 1.0 - diff)
+
+
+def signed_ring_delta(a, b):
+    """Signed shortest displacement from ``a`` to ``b`` in ``(-0.5, 0.5]``.
+
+    ``normalize(a + signed_ring_delta(a, b)) == b`` along the shorter arc.
+    """
+    delta = np.mod(np.asarray(b, dtype=np.float64) - np.asarray(a, dtype=np.float64), 1.0)
+    out = np.where(delta > 0.5, delta - 1.0, delta)
+    return float(out) if np.isscalar(a) and np.isscalar(b) else out
+
+
+def ring_midpoint(a, b):
+    """Midpoint of the *shorter* arc between ``a`` and ``b``.
+
+    This is the "centroid" used by SELECT's identifier reassignment
+    (Algorithm 2): a peer relocates between its two strongest friends.
+    """
+    return normalize(np.asarray(a, dtype=np.float64) + 0.5 * signed_ring_delta(a, b))
+
+
+def ring_interval_contains(start: float, end: float, x: float) -> bool:
+    """True when ``x`` lies on the clockwise arc from ``start`` to ``end``.
+
+    The arc is half-open: ``start`` excluded, ``end`` included, matching the
+    successor-responsibility convention of ring DHTs.
+    """
+    start = float(normalize(start))
+    end = float(normalize(end))
+    x = float(normalize(x))
+    if start == end:
+        # Degenerate interval covers the whole ring.
+        return True
+    if start < end:
+        return start < x <= end
+    return x > start or x <= end
+
+
+@dataclass(frozen=True)
+class IdSpace:
+    """The shared identifier space, with a seeded assignment helper.
+
+    ``resolution`` bounds how close two distinct peers may sit; the default
+    (2**-53) is effectively continuous while keeping midpoint computations
+    exact in float64.
+    """
+
+    resolution: float = 2.0**-53
+
+    def distance(self, a, b):
+        """Ring distance (see :func:`ring_distance`)."""
+        return ring_distance(a, b)
+
+    def midpoint(self, a, b):
+        """Shorter-arc midpoint (see :func:`ring_midpoint`)."""
+        return ring_midpoint(a, b)
+
+    def adjacent_id(self, anchor: float, rng: np.random.Generator, spread: float = 1e-6) -> float:
+        """An identifier immediately next to ``anchor``.
+
+        Used by the projection step (Algorithm 1) to place an invited user's
+        peer at minimal distance from the inviter without colliding.
+        """
+        if spread <= 0:
+            raise ValueError(f"spread must be positive, got {spread}")
+        offset = float(rng.uniform(self.resolution, spread))
+        sign = 1.0 if rng.random() < 0.5 else -1.0
+        return float(normalize(anchor + sign * offset))
+
+    def sort_ring(self, ids: np.ndarray) -> np.ndarray:
+        """Indices that order peers clockwise around the ring."""
+        return np.argsort(ids, kind="stable")

@@ -1,0 +1,15 @@
+"""Locality Sensitive Hashing (Gionis/Indyk/Motwani style).
+
+SELECT buckets the friendship bitmaps of a peer's social neighborhood into
+``|H| = K`` LSH buckets and establishes one long-range link per bucket:
+friends with similar bitmaps (covering the same part of the neighborhood)
+collide, so picking one peer per bucket avoids redundant links while
+spanning distinct zones of the overlay.
+"""
+
+from repro.lsh.family import LshFamily
+from repro.lsh.bitsampling import BitSamplingLsh
+from repro.lsh.minhash import MinHashLsh
+from repro.lsh.index import LshIndex
+
+__all__ = ["LshFamily", "BitSamplingLsh", "MinHashLsh", "LshIndex"]

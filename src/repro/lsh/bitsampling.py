@@ -1,0 +1,67 @@
+"""Bit-sampling LSH for Hamming space.
+
+The classic family for binary vectors: sample ``num_samples`` fixed bit
+positions; the signature is the concatenation of those bits. Two bitmaps at
+normalized Hamming similarity ``s`` share a signature with probability
+``s ** num_samples``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lsh.family import LshFamily
+from repro.util.bitset import get_bit
+from repro.util.rng import as_generator
+
+__all__ = ["BitSamplingLsh"]
+
+
+class BitSamplingLsh(LshFamily):
+    """Bit-sampling family over packed bitsets of ``nbits`` logical bits.
+
+    Parameters
+    ----------
+    nbits:
+        Logical width of the bitmaps to be hashed (``|C_p|`` in SELECT).
+    num_samples:
+        Number of sampled positions; more samples = finer buckets. SELECT
+        uses few samples so that friends covering roughly the same part of
+        the neighborhood still collide.
+    seed:
+        Seeds the sampled positions; peers in a simulation share the seed so
+        that their local indexes agree.
+    """
+
+    __slots__ = ("nbits", "num_samples", "_positions")
+
+    def __init__(self, nbits: int, num_samples: int = 8, seed=None):
+        if nbits < 0:
+            raise ValueError(f"nbits must be non-negative, got {nbits}")
+        if num_samples <= 0:
+            raise ValueError(f"num_samples must be positive, got {num_samples}")
+        self.nbits = nbits
+        self.num_samples = min(num_samples, max(nbits, 1))
+        rng = as_generator(seed)
+        if nbits == 0:
+            self._positions = np.zeros(0, dtype=np.int64)
+        else:
+            self._positions = rng.choice(nbits, size=self.num_samples, replace=nbits < self.num_samples)
+
+    @property
+    def positions(self) -> np.ndarray:
+        """The sampled bit positions (read-only)."""
+        return self._positions
+
+    def signature(self, item: np.ndarray) -> int:
+        """Concatenate the sampled bits into an integer signature."""
+        sig = 0
+        for pos in self._positions:
+            sig = (sig << 1) | int(get_bit(item, int(pos)))
+        return sig
+
+    def collision_probability(self, similarity: float) -> float:
+        """``similarity ** num_samples`` (independent sampled bits)."""
+        if not (0.0 <= similarity <= 1.0):
+            raise ValueError(f"similarity must be in [0, 1], got {similarity}")
+        return float(similarity) ** self.num_samples

@@ -1,0 +1,35 @@
+"""Abstract LSH family interface.
+
+A family maps an item to an integer *signature* such that similar items
+collide with high probability. Buckets are derived from signatures with a
+fixed multiplicative hash, so equal signatures always share a bucket.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+__all__ = ["LshFamily"]
+
+# Knuth's multiplicative constant; spreads signatures over buckets.
+_MIX = 0x9E3779B97F4A7C15
+_MASK = (1 << 64) - 1
+
+
+class LshFamily(ABC):
+    """Base class for locality-sensitive hash families."""
+
+    @abstractmethod
+    def signature(self, item) -> int:
+        """Integer signature; similar items collide with high probability."""
+
+    def bucket(self, item, num_buckets: int) -> int:
+        """Deterministic bucket in ``[0, num_buckets)`` for ``item``."""
+        if num_buckets <= 0:
+            raise ValueError(f"num_buckets must be positive, got {num_buckets}")
+        sig = self.signature(item) & _MASK
+        return ((sig * _MIX) & _MASK) % num_buckets
+
+    @abstractmethod
+    def collision_probability(self, similarity: float) -> float:
+        """Probability two items with the given similarity share a signature."""

@@ -1,0 +1,64 @@
+"""The bucketed LSH index used by SELECT's link selection (Algorithm 5).
+
+``|H| = K`` buckets; each insert assigns a key to one bucket via the
+family. The paper selects one peer per non-empty bucket as a long-range
+link, and replaces a failed link with another member of the *same bucket*
+during recovery (Section III-F).
+"""
+
+from __future__ import annotations
+
+from repro.lsh.family import LshFamily
+
+__all__ = ["LshIndex"]
+
+
+class LshIndex:
+    """Mutable mapping of keys into ``num_buckets`` LSH buckets."""
+
+    __slots__ = ("num_buckets", "family", "_buckets", "_assignment")
+
+    def __init__(self, num_buckets: int, family: LshFamily):
+        if num_buckets <= 0:
+            raise ValueError(f"num_buckets must be positive, got {num_buckets}")
+        self.num_buckets = num_buckets
+        self.family = family
+        self._buckets: list[list] = [[] for _ in range(num_buckets)]
+        self._assignment: dict = {}
+
+    def insert(self, key, item) -> int:
+        """Index ``key`` by its ``item`` (bitmap/set); returns the bucket."""
+        if key in self._assignment:
+            raise KeyError(f"key {key!r} already indexed; remove it first")
+        bucket = self.family.bucket(item, self.num_buckets)
+        self._buckets[bucket].append(key)
+        self._assignment[key] = bucket
+        return bucket
+
+    def remove(self, key) -> None:
+        """Drop ``key`` from the index."""
+        bucket = self._assignment.pop(key)
+        self._buckets[bucket].remove(key)
+
+    def bucket_of(self, key) -> int:
+        """Bucket currently holding ``key``."""
+        return self._assignment[key]
+
+    def members(self, bucket: int) -> list:
+        """Keys in ``bucket`` (insertion order, copied)."""
+        return list(self._buckets[bucket])
+
+    def peers_like(self, key) -> list:
+        """Other keys sharing ``key``'s bucket — the recovery candidates."""
+        bucket = self._assignment[key]
+        return [k for k in self._buckets[bucket] if k != key]
+
+    def non_empty_buckets(self) -> list[int]:
+        """Bucket ids that currently hold at least one key."""
+        return [i for i, members in enumerate(self._buckets) if members]
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def __contains__(self, key) -> bool:
+        return key in self._assignment

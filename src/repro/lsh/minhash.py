@@ -1,0 +1,54 @@
+"""MinHash LSH for Jaccard similarity on integer sets.
+
+An alternative family to bit sampling: useful when hashing neighbor *sets*
+directly (e.g. Vitis-style interest clustering) rather than fixed-width
+bitmaps. Two sets with Jaccard similarity ``J`` produce equal single-hash
+minima with probability ``J``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lsh.family import LshFamily
+from repro.util.rng import as_generator
+
+__all__ = ["MinHashLsh"]
+
+_PRIME = (1 << 61) - 1  # Mersenne prime for universal hashing
+
+
+class MinHashLsh(LshFamily):
+    """MinHash family with ``num_hashes`` universal hash functions."""
+
+    __slots__ = ("num_hashes", "_a", "_b")
+
+    def __init__(self, num_hashes: int = 4, seed=None):
+        if num_hashes <= 0:
+            raise ValueError(f"num_hashes must be positive, got {num_hashes}")
+        self.num_hashes = num_hashes
+        rng = as_generator(seed)
+        self._a = rng.integers(1, _PRIME, size=num_hashes, dtype=np.int64)
+        self._b = rng.integers(0, _PRIME, size=num_hashes, dtype=np.int64)
+
+    def minima(self, items) -> np.ndarray:
+        """Per-hash minima over the item set (the raw MinHash sketch)."""
+        arr = np.asarray(list(items), dtype=np.int64)
+        if arr.size == 0:
+            return np.full(self.num_hashes, _PRIME, dtype=np.int64)
+        # (num_hashes, n) universal hashes, reduced min along items.
+        hashed = (self._a[:, None] * (arr[None, :] % _PRIME) + self._b[:, None]) % _PRIME
+        return hashed.min(axis=1)
+
+    def signature(self, item) -> int:
+        """Fold the sketch into one integer signature."""
+        sig = 0
+        for m in self.minima(item):
+            sig = (sig * 1_000_003 + int(m)) & ((1 << 64) - 1)
+        return sig
+
+    def collision_probability(self, similarity: float) -> float:
+        """``J ** num_hashes`` — all minima must agree."""
+        if not (0.0 <= similarity <= 1.0):
+            raise ValueError(f"similarity must be in [0, 1], got {similarity}")
+        return float(similarity) ** self.num_hashes

@@ -1,0 +1,30 @@
+"""Measurement layer: the five metrics of the paper's Section IV-B.
+
+* number of hops (per social lookup) — :mod:`repro.metrics.hops`
+* number of relay nodes (per pub/sub routing path) — :mod:`repro.metrics.relays`
+* number of iterations (overlay construction) — read off the overlay
+* percentage of messages forwarded per peer (load) — :mod:`repro.metrics.load`
+* latency (realistic experiments) — :mod:`repro.metrics.latency`
+
+plus the churn availability measurement for Figure 6 —
+:mod:`repro.metrics.availability`.
+"""
+
+from repro.metrics.hops import sample_friend_pairs, social_lookup_hops
+from repro.metrics.relays import publish_relays, RelayStats
+from repro.metrics.load import forward_counts, load_share_by_degree, load_gini
+from repro.metrics.latency import dissemination_latencies
+from repro.metrics.availability import churn_availability, AvailabilityPoint
+
+__all__ = [
+    "sample_friend_pairs",
+    "social_lookup_hops",
+    "publish_relays",
+    "RelayStats",
+    "forward_counts",
+    "load_share_by_degree",
+    "load_gini",
+    "dissemination_latencies",
+    "churn_availability",
+    "AvailabilityPoint",
+]

@@ -1,0 +1,87 @@
+"""Communication availability under churn (Figure 6's metric).
+
+At every churn tick a set of peers is offline (log-normal sessions, with
+the paper's floor of at least half the network online). We then attempt
+social lookups between online friend pairs; availability is the fraction
+that still deliver. Systems differ in their per-tick *repair* hook:
+SELECT runs its CMA/LSH recovery, OMen mends from shadow sets, the others
+rely on whatever their stale tables still reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.overlay.base import OverlayNetwork
+from repro.util.rng import as_generator
+
+__all__ = ["AvailabilityPoint", "churn_availability"]
+
+RepairFn = Callable[[np.ndarray], None]
+
+
+@dataclass(frozen=True)
+class AvailabilityPoint:
+    """One churn tick: how many peers were up, how many lookups delivered."""
+
+    tick: int
+    online_fraction: float
+    availability: float
+
+
+def churn_availability(
+    overlay: OverlayNetwork,
+    online_matrix: np.ndarray,
+    lookups_per_tick: int = 50,
+    repair: "RepairFn | None" = None,
+    detect_failures: "bool | None" = None,
+    seed=None,
+) -> list[AvailabilityPoint]:
+    """Run the Figure 6 measurement over a liveness matrix.
+
+    ``online_matrix`` is the (ticks, num_peers) boolean matrix from
+    :meth:`repro.net.churn.ChurnModel.online_matrix`. ``repair`` is the
+    system's maintenance hook, called with the tick's liveness before any
+    lookups are attempted. ``detect_failures`` controls whether peers know
+    their links' liveness; it defaults to True exactly when the system has
+    a maintenance mechanism (pinging contacts is what maintenance does).
+    """
+    if detect_failures is None:
+        detect_failures = repair is not None
+    rng = as_generator(seed)
+    graph = overlay.graph
+    router = overlay.make_router()
+    points: list[AvailabilityPoint] = []
+    n = graph.num_nodes
+    for tick in range(online_matrix.shape[0]):
+        online = online_matrix[tick]
+        if repair is not None:
+            repair(online)
+        delivered = 0
+        attempted = 0
+        guard = 0
+        while attempted < lookups_per_tick and guard < lookups_per_tick * 20:
+            guard += 1
+            u = int(rng.integers(n))
+            if not online[u]:
+                continue
+            friends = graph.neighbors(u)
+            live_friends = friends[online[friends]]
+            if live_friends.size == 0:
+                continue
+            v = int(live_friends[rng.integers(live_friends.size)])
+            attempted += 1
+            if router.route(u, v, online=online, detect_failures=detect_failures).delivered:
+                delivered += 1
+        availability = delivered / attempted if attempted else 1.0
+        points.append(
+            AvailabilityPoint(
+                tick=tick,
+                online_fraction=float(online.mean()),
+                availability=availability,
+            )
+        )
+    return points

@@ -1,0 +1,48 @@
+"""Hop-count measurement (Figure 2's metric).
+
+"The average number of overlay hops within the path between two peers" —
+sampled over *social lookups*: pairs of peers whose users are friends,
+i.e. publisher→subscriber pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import SocialGraph
+from repro.pubsub.api import PubSubSystem
+from repro.util.rng import as_generator
+
+__all__ = ["sample_friend_pairs", "social_lookup_hops"]
+
+
+def sample_friend_pairs(graph: SocialGraph, count: int, seed=None) -> list[tuple[int, int]]:
+    """``count`` random (peer, friend-of-peer) pairs."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    rng = as_generator(seed)
+    pairs = []
+    n = graph.num_nodes
+    for _ in range(count):
+        u = int(rng.integers(n))
+        friends = graph.neighbors(u)
+        while friends.size == 0:  # pragma: no cover - LCC graphs have no isolates
+            u = int(rng.integers(n))
+            friends = graph.neighbors(u)
+        v = int(friends[rng.integers(friends.size)])
+        pairs.append((u, v))
+    return pairs
+
+
+def social_lookup_hops(
+    pubsub: PubSubSystem,
+    pairs,
+    online: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """Hop count of each delivered social lookup (failed lookups excluded)."""
+    hops = []
+    for u, v in pairs:
+        result = pubsub.lookup(u, v, online=online)
+        if result.delivered:
+            hops.append(result.hops)
+    return np.asarray(hops, dtype=np.float64)

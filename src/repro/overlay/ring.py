@@ -1,0 +1,57 @@
+"""Ring (short-range) link computation.
+
+Every overlay keeps two short-range links per peer — its successor and
+predecessor in identifier order — which is what guarantees that greedy
+routing always terminates and that the whole network stays reachable (the
+paper's correctness argument in §V: the ring lets messages reach all
+peers even when long links are socially skewed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.exceptions import ConfigurationError
+
+__all__ = ["ring_links", "successor_of", "predecessor_of"]
+
+
+def ring_links(ids: np.ndarray) -> list[tuple[int, int]]:
+    """Per-peer ``(predecessor, successor)`` node indices by id order.
+
+    Ties in identifier value are broken by node index so the ring is
+    always a single cycle.
+    """
+    n = len(ids)
+    if n < 2:
+        raise ConfigurationError("a ring needs at least two peers")
+    order = np.lexsort((np.arange(n), ids))  # clockwise tour
+    pred = np.empty(n, dtype=np.int64)
+    succ = np.empty(n, dtype=np.int64)
+    for pos, node in enumerate(order):
+        succ[node] = order[(pos + 1) % n]
+        pred[node] = order[(pos - 1) % n]
+    return [(int(pred[v]), int(succ[v])) for v in range(n)]
+
+
+def successor_of(ids: np.ndarray, point: float) -> int:
+    """Node responsible for ``point``: the first id clockwise from it.
+
+    This is the DHT "manager" lookup used when a long link targets a ring
+    position rather than a concrete peer (Symphony) or when a topic hash
+    needs a rendezvous node (Bayeux, Vitis).
+    """
+    n = len(ids)
+    order = np.lexsort((np.arange(n), ids))
+    sorted_ids = ids[order]
+    pos = int(np.searchsorted(sorted_ids, point, side="left"))
+    return int(order[pos % n])
+
+
+def predecessor_of(ids: np.ndarray, point: float) -> int:
+    """Last node counter-clockwise from ``point``."""
+    n = len(ids)
+    order = np.lexsort((np.arange(n), ids))
+    sorted_ids = ids[order]
+    pos = int(np.searchsorted(sorted_ids, point, side="left")) - 1
+    return int(order[pos % n])

@@ -1,0 +1,128 @@
+"""Public pub/sub API.
+
+:class:`PubSubSystem` binds an overlay to the paper's social pub/sub
+semantics: subscribers of a publisher are its interested social friends
+(the interest function defaults to "every friend is interested"); a
+publish event routes the notification to all of them and reports the
+dissemination tree, per-path hop counts, relay nodes, and delivery status.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.overlay.base import OverlayNetwork
+from repro.overlay.routing import RouteResult
+from repro.pubsub.tree import RoutingTree
+from repro.util.exceptions import ConfigurationError
+
+__all__ = ["DisseminationResult", "PubSubSystem"]
+
+InterestFn = Callable[[int, int], bool]
+
+
+@dataclass
+class DisseminationResult:
+    """Outcome of one publish event."""
+
+    publisher: int
+    subscribers: list[int]
+    tree: RoutingTree
+    routes: dict[int, RouteResult]
+
+    @property
+    def delivered(self) -> list[int]:
+        """Subscribers the message reached."""
+        return [s for s, r in self.routes.items() if r.delivered]
+
+    @property
+    def failed(self) -> list[int]:
+        """Subscribers the message could not reach."""
+        return [s for s, r in self.routes.items() if not r.delivered]
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of subscribers reached (1.0 when there are none)."""
+        if not self.subscribers:
+            return 1.0
+        return len(self.delivered) / len(self.subscribers)
+
+    @property
+    def relay_nodes(self) -> set[int]:
+        """Relay nodes of the merged dissemination tree."""
+        return self.tree.relay_nodes(self.subscribers)
+
+    @property
+    def per_path_hops(self) -> list[int]:
+        """Hop count of each delivered publisher->subscriber path."""
+        return [r.hops for r in self.routes.values() if r.delivered]
+
+    def per_path_relays(self) -> list[int]:
+        """Relay count of each delivered path (Fig. 3's per-path metric)."""
+        subs = set(self.subscribers)
+        subs.add(self.publisher)
+        out = []
+        for r in self.routes.values():
+            if not r.delivered:
+                continue
+            out.append(sum(1 for v in r.path[1:-1] if v not in subs))
+        return out
+
+
+class PubSubSystem:
+    """Social pub/sub service over a built overlay."""
+
+    def __init__(
+        self,
+        overlay: OverlayNetwork,
+        interest: "InterestFn | None" = None,
+        lookahead: "bool | None" = None,
+    ):
+        self.overlay = overlay
+        self.graph = overlay.graph
+        self.interest = interest
+        self.router = overlay.make_router(lookahead=lookahead)
+
+    def subscribers_of(self, publisher: int) -> list[int]:
+        """``S_b``: the publisher's interested social friends."""
+        friends = self.graph.neighbors(publisher)
+        if self.interest is None:
+            return [int(f) for f in friends]
+        return [int(f) for f in friends if self.interest(int(f), publisher)]
+
+    def publish(
+        self,
+        publisher: int,
+        online: "np.ndarray | None" = None,
+    ) -> DisseminationResult:
+        """Disseminate one notification from ``publisher`` to ``S_b``."""
+        if not (0 <= publisher < self.graph.num_nodes):
+            raise ConfigurationError(f"publisher {publisher} out of range")
+        subscribers = self.subscribers_of(publisher)
+        if online is not None:
+            subscribers = [s for s in subscribers if online[s]]
+        tree = RoutingTree(publisher)
+        # Each overlay defines its own dissemination shape (unicast DHT,
+        # rendezvous tree, topic-connected overlay, ...).
+        routes: dict[int, RouteResult] = self.overlay.disseminate(
+            publisher, subscribers, self.router, online=online
+        )
+        # Merge paths near-first so farther paths reuse tree prefixes
+        # (message deduplication).
+        for s in sorted(routes, key=lambda s: (len(routes[s].path), s)):
+            result = routes[s]
+            if result.delivered:
+                tree.add_path(result.path)
+        return DisseminationResult(
+            publisher=publisher,
+            subscribers=subscribers,
+            tree=tree,
+            routes=routes,
+        )
+
+    def lookup(self, src: int, dst: int, online: "np.ndarray | None" = None) -> RouteResult:
+        """Point-to-point social lookup (Fig. 2's metric)."""
+        return self.router.route(src, dst, online=online)

@@ -1,0 +1,165 @@
+"""Topic-based pub/sub extension (groups and pages).
+
+The paper's core model makes every *user* a topic (subscribers = friends),
+but its introduction also motivates "preferable sources (e.g. groups,
+pages)" and the related work is all topic-based pub/sub (SpiderCast,
+PolderCast, OMen). This module adds explicit topics on top of any
+overlay:
+
+* :func:`zipf_topic_subscriptions` — a synthetic group workload: topic
+  popularity is Zipf-distributed, and each topic's audience is biased
+  toward one social community (real groups are socially clustered).
+* :class:`TopicPubSub` — publishes to a topic's subscribers over the
+  overlay, whoever they are, with the same routing-tree/relay accounting
+  as the social layer.
+
+For SELECT this probes the boundary of the design: community-biased
+topics still profit from the social embedding (subscribers share an ID
+region), while globally scattered topics degrade toward plain DHT routing
+— a limitation worth measuring, not hiding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import SocialGraph
+from repro.overlay.base import OverlayNetwork
+from repro.overlay.routing import RouteResult
+from repro.pubsub.tree import RoutingTree
+from repro.util.exceptions import ConfigurationError
+from repro.util.rng import as_generator
+
+__all__ = ["TopicDissemination", "TopicPubSub", "zipf_topic_subscriptions"]
+
+
+def zipf_topic_subscriptions(
+    graph: SocialGraph,
+    num_topics: int,
+    mean_subscriptions: float = 3.0,
+    zipf_exponent: float = 1.2,
+    community_bias: float = 0.7,
+    seed=None,
+) -> dict[int, set[int]]:
+    """Generate a group/page subscription workload.
+
+    Topic popularity follows a Zipf law; with probability
+    ``community_bias`` a subscriber is drawn from the topic's home
+    community (a BFS ball around a seed user), otherwise uniformly.
+    Returns ``{topic_id: subscriber set}``.
+    """
+    if num_topics < 1:
+        raise ConfigurationError(f"need at least one topic, got {num_topics}")
+    if mean_subscriptions <= 0:
+        raise ConfigurationError(f"mean_subscriptions must be positive, got {mean_subscriptions}")
+    if not (0.0 <= community_bias <= 1.0):
+        raise ConfigurationError(f"community_bias must be in [0, 1], got {community_bias}")
+    rng = as_generator(seed)
+    n = graph.num_nodes
+    # Zipf popularity, normalized to the requested total subscription mass.
+    ranks = np.arange(1, num_topics + 1, dtype=np.float64)
+    popularity = ranks**-zipf_exponent
+    popularity *= (mean_subscriptions * n) / popularity.sum()
+    out: dict[int, set[int]] = {}
+    for topic in range(num_topics):
+        want = max(2, int(round(popularity[topic])))
+        want = min(want, n)
+        home = _community_ball(graph, int(rng.integers(n)), want, rng)
+        members: set[int] = set()
+        while len(members) < want:
+            if home and rng.random() < community_bias:
+                members.add(int(home[rng.integers(len(home))]))
+            else:
+                members.add(int(rng.integers(n)))
+        out[topic] = members
+    return out
+
+
+def _community_ball(graph: SocialGraph, seed_user: int, size: int, rng) -> list[int]:
+    """BFS ball of about ``2 * size`` users around ``seed_user``."""
+    target = max(size * 2, 8)
+    ball = [seed_user]
+    seen = {seed_user}
+    idx = 0
+    while idx < len(ball) and len(ball) < target:
+        for v in graph.neighbors(ball[idx]):
+            v = int(v)
+            if v not in seen:
+                seen.add(v)
+                ball.append(v)
+                if len(ball) >= target:
+                    break
+        idx += 1
+    return ball
+
+
+@dataclass
+class TopicDissemination:
+    """Outcome of one topic publish."""
+
+    topic: int
+    publisher: int
+    subscribers: list[int]
+    tree: RoutingTree
+    routes: dict[int, RouteResult]
+
+    @property
+    def delivery_ratio(self) -> float:
+        if not self.subscribers:
+            return 1.0
+        return sum(1 for r in self.routes.values() if r.delivered) / len(self.subscribers)
+
+    @property
+    def relay_nodes(self) -> set[int]:
+        return self.tree.relay_nodes(self.subscribers)
+
+    def per_path_hops(self) -> list[int]:
+        return [r.hops for r in self.routes.values() if r.delivered]
+
+
+class TopicPubSub:
+    """Topic-based pub/sub over any built overlay."""
+
+    def __init__(self, overlay: OverlayNetwork, subscriptions: dict[int, set[int]]):
+        if not subscriptions:
+            raise ConfigurationError("at least one topic is required")
+        self.overlay = overlay
+        self.subscriptions = {t: set(m) for t, m in subscriptions.items()}
+        self.router = overlay.make_router()
+
+    def topics(self) -> list[int]:
+        """All topic ids, sorted."""
+        return sorted(self.subscriptions)
+
+    def topics_of(self, user: int) -> list[int]:
+        """Topics a user subscribes to."""
+        return sorted(t for t, members in self.subscriptions.items() if user in members)
+
+    def publish(self, topic: int, publisher: "int | None" = None, online=None) -> TopicDissemination:
+        """Disseminate one message on ``topic``.
+
+        ``publisher`` defaults to the lowest-id subscriber (the "group
+        owner"); it may also be any non-member (pages push to followers).
+        """
+        if topic not in self.subscriptions:
+            raise ConfigurationError(f"unknown topic {topic}")
+        members = self.subscriptions[topic]
+        if publisher is None:
+            publisher = min(members)
+        subscribers = sorted(m for m in members if m != publisher)
+        if online is not None:
+            subscribers = [s for s in subscribers if online[s]]
+        routes = self.overlay.disseminate(publisher, subscribers, self.router, online=online)
+        tree = RoutingTree(publisher)
+        for s in sorted(routes, key=lambda s: (len(routes[s].path), s)):
+            if routes[s].delivered:
+                tree.add_path(routes[s].path)
+        return TopicDissemination(
+            topic=topic,
+            publisher=publisher,
+            subscribers=subscribers,
+            tree=tree,
+            routes=routes,
+        )

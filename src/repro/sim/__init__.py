@@ -1,0 +1,26 @@
+"""Simulation substrate.
+
+The paper runs its algorithms on Apache Flink/Gelly's vertex-centric
+iterative model over a 20-node cluster. :class:`SuperstepEngine` reproduces
+those semantics in-process: synchronized supersteps, per-vertex compute
+functions, message exchange between supersteps, and vote-to-halt
+termination. A :class:`EventQueue` provides the discrete-event layer used
+by the churn/latency experiments.
+"""
+
+from repro.sim.engine import SuperstepEngine, VertexContext, VertexProgram
+from repro.sim.events import Event, EventQueue
+from repro.sim.runner import NotificationRecord, NotificationSimulator, SimulationReport
+from repro.sim.trace import TraceRecorder
+
+__all__ = [
+    "SuperstepEngine",
+    "VertexContext",
+    "VertexProgram",
+    "Event",
+    "EventQueue",
+    "NotificationRecord",
+    "NotificationSimulator",
+    "SimulationReport",
+    "TraceRecorder",
+]

@@ -1,0 +1,78 @@
+"""Discrete-event queue for time-driven experiments (churn, workload).
+
+A thin, deterministic priority queue: events fire in ``(time, sequence)``
+order so simultaneous events resolve in insertion order. Used by the
+Figure 6 churn experiment (session arrivals/departures, publish events)
+and the Figure 7 latency experiment (transfer completions).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.util.exceptions import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled event. Ordering is by time, then insertion sequence."""
+
+    time: float
+    sequence: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Deterministic discrete-event scheduler."""
+
+    def __init__(self):
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self.processed = 0
+
+    def schedule(self, delay: float, kind: str, payload: Any = None) -> Event:
+        """Schedule an event ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self.now + delay, next(self._counter), kind, payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, kind: str, payload: Any = None) -> Event:
+        """Schedule an event at an absolute time."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule into the past (time={time}, now={self.now})")
+        event = Event(time, next(self._counter), kind, payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Advance the clock to the next event and return it."""
+        if not self._heap:
+            raise SimulationError("event queue is empty")
+        event = heapq.heappop(self._heap)
+        self.now = event.time
+        self.processed += 1
+        return event
+
+    def run_until(self, end_time: float, handler: Callable[[Event], None]) -> int:
+        """Dispatch events to ``handler`` until ``end_time``; returns count."""
+        dispatched = 0
+        while self._heap and self._heap[0].time <= end_time:
+            handler(self.pop())
+            dispatched += 1
+        self.now = max(self.now, end_time)
+        return dispatched
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,45 @@
+"""Per-round trace recording.
+
+Overlay construction and churn experiments record scalar series (IDs moved,
+links changed, availability, live peers) per round; the experiment harness
+turns those series into the figures' rows.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+__all__ = ["TraceRecorder"]
+
+
+class TraceRecorder:
+    """Append-only store of named scalar series indexed by round."""
+
+    def __init__(self):
+        self._series: dict[str, list[tuple[int, float]]] = defaultdict(list)
+
+    def record(self, name: str, round_index: int, value: float) -> None:
+        """Append ``value`` for series ``name`` at ``round_index``."""
+        self._series[name].append((int(round_index), float(value)))
+
+    def series(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(rounds, values)`` arrays for series ``name``."""
+        points = self._series.get(name, [])
+        if not points:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64)
+        rounds, values = zip(*points)
+        return np.asarray(rounds, dtype=np.int64), np.asarray(values, dtype=np.float64)
+
+    def last(self, name: str, default: float = float("nan")) -> float:
+        """Most recent value of series ``name``."""
+        points = self._series.get(name)
+        return points[-1][1] if points else default
+
+    def names(self) -> list[str]:
+        """Recorded series names, sorted."""
+        return sorted(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series

@@ -1,0 +1,20 @@
+"""Social-tie primitives: strength (Eq. 2) and friendship bitmaps.
+
+Social strength drives SELECT's identifier reassignment; friendship bitmaps
+(which of my friends does peer ``u`` already link to) are the vectors that
+the LSH link-selection step buckets.
+"""
+
+from repro.social.strength import (
+    social_strength,
+    strength_vector,
+    strongest_friends,
+)
+from repro.social.bitmaps import BitmapCodec
+
+__all__ = [
+    "social_strength",
+    "strength_vector",
+    "strongest_friends",
+    "BitmapCodec",
+]

@@ -1,0 +1,67 @@
+"""Friendship bitmaps (paper Section III-D).
+
+For a peer ``p`` with neighborhood ``C_p``, the bitmap of a friend ``u``
+is a ``|C_p|``-bit vector whose bit for friend ``v`` is set when ``u``'s
+routing table already links to ``v``. Friends with near-identical bitmaps
+cover the same part of ``p``'s neighborhood, so linking to more than one of
+them is redundant — which is exactly what the LSH bucketing exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.bitset import bitset_from_indices, words_for_bits
+
+__all__ = ["BitmapCodec"]
+
+
+class BitmapCodec:
+    """Encodes friendship bitmaps relative to one peer's neighborhood.
+
+    Parameters
+    ----------
+    neighborhood:
+        Sorted array of the peer's friends ``C_p``; bit position ``i``
+        corresponds to ``neighborhood[i]``.
+    """
+
+    __slots__ = ("_neighborhood", "_position", "nbits", "nwords")
+
+    def __init__(self, neighborhood):
+        self._neighborhood = np.asarray(neighborhood, dtype=np.int64)
+        self._position = {int(v): i for i, v in enumerate(self._neighborhood)}
+        self.nbits = len(self._neighborhood)
+        self.nwords = words_for_bits(max(self.nbits, 1))
+
+    @property
+    def neighborhood(self) -> np.ndarray:
+        """The friend array that defines the bit positions."""
+        return self._neighborhood
+
+    def encode(self, linked_nodes) -> np.ndarray:
+        """Bitmap marking which of the neighborhood the given nodes cover.
+
+        Nodes outside the neighborhood are ignored — a friend's routing
+        table usually contains peers we do not share.
+        """
+        positions = [self._position[int(v)] for v in linked_nodes if int(v) in self._position]
+        if self.nbits == 0:
+            return np.zeros(self.nwords, dtype=np.uint64)
+        return bitset_from_indices(positions, self.nbits)
+
+    def decode(self, bitmap: np.ndarray) -> np.ndarray:
+        """Node ids whose bits are set in ``bitmap``."""
+        from repro.util.bitset import bitset_to_indices
+
+        idx = bitset_to_indices(bitmap)
+        idx = idx[idx < self.nbits]
+        return self._neighborhood[idx]
+
+    def coverage(self, bitmap: np.ndarray) -> float:
+        """Fraction of the neighborhood covered by ``bitmap``."""
+        from repro.util.bitset import popcount
+
+        if self.nbits == 0:
+            return 0.0
+        return popcount(bitmap) / self.nbits

@@ -1,0 +1,57 @@
+"""Social strength between peers (paper Eq. 2).
+
+``s(p, u) = |C_p ∩ C_u| / |C_p|`` — the fraction of ``p``'s friends that
+are also friends of ``u``. The measure is asymmetric by design: a
+low-degree user is strongly tied to a hub that covers its whole
+neighborhood, while the hub is only weakly tied back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import SocialGraph
+
+__all__ = ["social_strength", "strength_vector", "strongest_friends"]
+
+
+def social_strength(graph: SocialGraph, p: int, u: int) -> float:
+    """Eq. 2: overlap of ``u``'s friends with ``p``'s, normalized by ``|C_p|``."""
+    cp = graph.neighbor_set(p)
+    if not cp:
+        return 0.0
+    return len(cp & graph.neighbor_set(u)) / len(cp)
+
+
+def strength_vector(graph: SocialGraph, p: int, candidates=None) -> np.ndarray:
+    """Strength of ``p`` toward each candidate (default: all of ``C_p``)."""
+    cp = graph.neighbor_set(p)
+    if candidates is None:
+        candidates = graph.neighbors(p)
+    candidates = np.asarray(candidates, dtype=np.int64)
+    if not cp:
+        return np.zeros(len(candidates), dtype=np.float64)
+    inv = 1.0 / len(cp)
+    out = np.empty(len(candidates), dtype=np.float64)
+    for i, u in enumerate(candidates):
+        out[i] = len(cp & graph.neighbor_set(int(u))) * inv
+    return out
+
+
+def strongest_friends(graph: SocialGraph, p: int, k: int = 2, among=None) -> np.ndarray:
+    """The ``k`` friends of ``p`` with the highest social strength.
+
+    ``among`` restricts candidates (e.g. to friends whose peers have already
+    joined the overlay). Ties break toward the smaller node id so results
+    are deterministic. Returns fewer than ``k`` entries when ``p`` has fewer
+    eligible friends.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    candidates = graph.neighbors(p) if among is None else np.asarray(sorted(among), dtype=np.int64)
+    if candidates.size == 0:
+        return candidates
+    strengths = strength_vector(graph, p, candidates)
+    # argsort ascending on (-strength, id): stable deterministic top-k.
+    order = np.lexsort((candidates, -strengths))
+    return candidates[order[:k]]

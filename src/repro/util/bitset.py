@@ -1,0 +1,104 @@
+"""Packed bitsets on ``numpy.uint64`` words.
+
+SELECT's gossip protocol exchanges *friendship bitmaps*: for a peer ``p``
+with neighborhood ``C_p``, the bitmap of a friend ``u`` marks which members
+of ``C_p`` appear in ``u``'s routing table. These bitmaps are the inputs to
+the LSH link-selection step, so intersection/Hamming operations sit on the
+hot path. We pack them 64 bits per word and rely on vectorized popcounts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "words_for_bits",
+    "bitset_from_indices",
+    "bitset_to_indices",
+    "popcount",
+    "bitset_intersection_count",
+    "bitset_union_count",
+    "hamming_distance",
+    "get_bit",
+    "set_bit",
+]
+
+_WORD_BITS = 64
+
+# Byte-level popcount table: np.unpackbits-free popcounts for uint64 words.
+_POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+
+def words_for_bits(nbits: int) -> int:
+    """Number of 64-bit words needed to hold ``nbits`` bits."""
+    if nbits < 0:
+        raise ValueError(f"nbits must be non-negative, got {nbits}")
+    return (nbits + _WORD_BITS - 1) // _WORD_BITS
+
+
+def bitset_from_indices(indices, nbits: int) -> np.ndarray:
+    """Build a packed bitset of ``nbits`` logical bits with ``indices`` set."""
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.size and (idx.min() < 0 or idx.max() >= nbits):
+        raise IndexError(f"bit index out of range for nbits={nbits}")
+    words = np.zeros(words_for_bits(nbits), dtype=np.uint64)
+    if idx.size:
+        word_idx = idx // _WORD_BITS
+        bit_idx = (idx % _WORD_BITS).astype(np.uint64)
+        np.bitwise_or.at(words, word_idx, np.uint64(1) << bit_idx)
+    return words
+
+
+def bitset_to_indices(words: np.ndarray) -> np.ndarray:
+    """Return the sorted indices of set bits in a packed bitset."""
+    bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+    return np.flatnonzero(bits)
+
+
+def popcount(words: np.ndarray) -> int:
+    """Total number of set bits across the packed words.
+
+    Bitmaps here are tiny (one word per 64 friends), so Python's native
+    ``int.bit_count`` beats any vectorized formulation — numpy call
+    overhead dominates at this size.
+    """
+    if words.size == 1:
+        return int(words[0]).bit_count()
+    return sum(int(w).bit_count() for w in words.tolist())
+
+
+def bitset_intersection_count(a: np.ndarray, b: np.ndarray) -> int:
+    """``|a & b|`` for two packed bitsets of equal word length."""
+    _check_same_shape(a, b)
+    return popcount(a & b)
+
+
+def bitset_union_count(a: np.ndarray, b: np.ndarray) -> int:
+    """``|a | b|`` for two packed bitsets of equal word length."""
+    _check_same_shape(a, b)
+    return popcount(a | b)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of differing bits between two packed bitsets."""
+    _check_same_shape(a, b)
+    return popcount(a ^ b)
+
+
+def get_bit(words: np.ndarray, index: int) -> bool:
+    """Read logical bit ``index`` from a packed bitset."""
+    return bool((words[index // _WORD_BITS] >> np.uint64(index % _WORD_BITS)) & np.uint64(1))
+
+
+def set_bit(words: np.ndarray, index: int, value: bool = True) -> None:
+    """Write logical bit ``index`` in-place."""
+    mask = np.uint64(1) << np.uint64(index % _WORD_BITS)
+    if value:
+        words[index // _WORD_BITS] |= mask
+    else:
+        words[index // _WORD_BITS] &= ~mask
+
+
+def _check_same_shape(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape != b.shape:
+        raise ValueError(f"bitset shapes differ: {a.shape} vs {b.shape}")

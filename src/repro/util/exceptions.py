@@ -1,0 +1,28 @@
+"""Exception hierarchy for the repro package.
+
+Every exception raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment, overlay, or model was configured with invalid values."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, loaded, or validated."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid state."""
+
+
+class RoutingError(ReproError):
+    """A routing operation could not complete (e.g. unreachable target)."""

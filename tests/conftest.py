@@ -1,0 +1,50 @@
+"""Shared fixtures.
+
+Overlay construction is the expensive bit, so built overlays are
+module/session scoped; tests must not mutate them (tests that need a
+mutable overlay build their own small one).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SelectConfig
+from repro.core.select import SelectOverlay
+from repro.graphs.datasets import load_dataset
+from repro.graphs.graph import SocialGraph
+
+
+@pytest.fixture(scope="session")
+def small_graph() -> SocialGraph:
+    """~120-node Facebook-like graph (largest connected component)."""
+    return load_dataset("facebook", num_nodes=120, seed=101)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> SocialGraph:
+    """A hand-built 6-node graph with known structure.
+
+    Topology::
+
+        0 - 1   triangle 0-1-2, plus chain 2-3, clique 3-4-5
+         \\ /
+          2 - 3
+              |\\
+              4-5
+    """
+    edges = [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (3, 5), (4, 5)]
+    return SocialGraph(6, edges, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def built_select(small_graph) -> SelectOverlay:
+    """A fully built SELECT overlay (do not mutate)."""
+    return SelectOverlay(small_graph, config=SelectConfig(max_rounds=40)).build(seed=7)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,98 @@
+"""Non-iterative baselines: Symphony and Bayeux."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bayeux import BayeuxOverlay
+from repro.baselines.symphony import SymphonyOverlay
+from repro.idspace.space import ring_distance
+from repro.pubsub.api import PubSubSystem
+
+
+@pytest.fixture(scope="module")
+def symphony(small_graph):
+    return SymphonyOverlay(small_graph).build(seed=13)
+
+
+@pytest.fixture(scope="module")
+def bayeux(small_graph):
+    return BayeuxOverlay(small_graph).build(seed=13)
+
+
+class TestSymphony:
+    def test_non_iterative(self, symphony):
+        assert symphony.iterations == 0
+        assert not symphony.iterative
+
+    def test_long_links_within_budget(self, symphony):
+        for table in symphony.tables:
+            assert len(table.long_links) <= symphony.k_links
+
+    def test_harmonic_links_favor_short_distances(self, symphony):
+        ids = symphony.ids
+        distances = [
+            ring_distance(float(ids[v]), float(ids[w]))
+            for v in range(symphony.graph.num_nodes)
+            for w in symphony.tables[v].long_links
+        ]
+        distances = np.array(distances)
+        # Harmonic density: far more links below 0.1 than above 0.4.
+        assert (distances < 0.1).sum() > 2 * (distances > 0.4).sum()
+
+    def test_all_lookups_deliver(self, symphony):
+        pubsub = PubSubSystem(symphony)
+        rng = np.random.default_rng(1)
+        n = symphony.graph.num_nodes
+        for _ in range(50):
+            u, v = rng.integers(0, n, size=2)
+            assert pubsub.lookup(int(u), int(v)).delivered
+
+    def test_social_obliviousness(self, symphony):
+        # Symphony ignores the social graph: most long links are not ties.
+        graph = symphony.graph
+        social = total = 0
+        for v in range(graph.num_nodes):
+            for w in symphony.tables[v].long_links:
+                total += 1
+                social += graph.has_edge(v, w)
+        assert social / total < 0.5
+
+
+class TestBayeux:
+    def test_non_iterative(self, bayeux):
+        assert bayeux.iterations == 0
+
+    def test_fingers_geometric(self, bayeux):
+        # Every peer has a link roughly halfway around the ring.
+        ids = bayeux.ids
+        for v in range(0, bayeux.graph.num_nodes, 7):
+            dists = [
+                ring_distance(float(ids[v]), float(ids[w]))
+                for w in bayeux.tables[v].long_links
+            ]
+            assert max(dists) > 0.2
+
+    def test_rendezvous_root_deterministic(self, bayeux):
+        assert bayeux.rendezvous_root(5) == bayeux.rendezvous_root(5)
+
+    def test_dissemination_passes_through_root(self, bayeux):
+        pubsub = PubSubSystem(bayeux)
+        publisher = 3
+        root = bayeux.rendezvous_root(publisher)
+        result = pubsub.publish(publisher)
+        for s, route in result.routes.items():
+            if route.delivered and s != root:
+                assert root in route.path
+
+    def test_delivery_complete_without_churn(self, bayeux):
+        pubsub = PubSubSystem(bayeux)
+        for b in (0, 10, 25):
+            assert pubsub.publish(b).delivery_ratio == 1.0
+
+    def test_many_relays(self, bayeux, built_select):
+        """Bayeux's rendezvous tree relays far more than SELECT (Fig. 3)."""
+        ps_b = PubSubSystem(bayeux)
+        ps_s = PubSubSystem(built_select)
+        relays_b = np.mean(ps_b.publish(4).per_path_relays())
+        relays_s = np.mean(ps_s.publish(4).per_path_relays())
+        assert relays_b > relays_s

@@ -1,0 +1,100 @@
+"""Greedy Merge and the divide-and-conquer TCO builder."""
+
+import pytest
+
+from repro.baselines.greedy_merge import greedy_merge_edges, topic_components
+from repro.baselines.tco import build_tco
+
+
+class TestTopicComponents:
+    def test_disconnected_topic(self):
+        topics = {"t": [1, 2, 3]}
+        assert topic_components(topics, edges=set())["t"] == 3
+
+    def test_connected_topic(self):
+        topics = {"t": [1, 2, 3]}
+        assert topic_components(topics, {(1, 2), (2, 3)})["t"] == 1
+
+    def test_edges_outside_topic_ignored(self):
+        topics = {"t": [1, 2]}
+        assert topic_components(topics, {(3, 4)})["t"] == 2
+
+    def test_empty_topic(self):
+        assert topic_components({"t": []}, set())["t"] == 0
+
+
+class TestGreedyMerge:
+    def test_single_topic_becomes_connected(self):
+        topics = {"t": [1, 2, 3, 4]}
+        edges = greedy_merge_edges(topics)
+        assert topic_components(topics, edges)["t"] == 1
+        # A spanning structure needs exactly |T| - 1 edges.
+        assert len(edges) == 3
+
+    def test_overlapping_topics_reuse_edges(self):
+        topics = {"a": [1, 2, 3], "b": [2, 3, 4]}
+        edges = greedy_merge_edges(topics)
+        comps = topic_components(topics, edges)
+        assert comps["a"] == 1 and comps["b"] == 1
+        # Naive per-topic trees would need 4 edges; GM reuses (2,3).
+        assert len(edges) <= 4
+
+    def test_degree_cap_blocks_progress(self):
+        # A star topic set that cannot be connected with degree cap 1.
+        topics = {"t": [1, 2, 3, 4]}
+        edges = greedy_merge_edges(topics, max_degree=1)
+        assert topic_components(topics, edges)["t"] > 1
+        degree = {}
+        for u, v in edges:
+            degree[u] = degree.get(u, 0) + 1
+            degree[v] = degree.get(v, 0) + 1
+        assert max(degree.values(), default=0) <= 1
+
+    def test_best_contribution_edge_chosen_first(self):
+        # Edge (2,3) merges both topics at once -> picked first.
+        topics = {"a": [2, 3], "b": [2, 3]}
+        edges = greedy_merge_edges(topics)
+        assert edges == {(2, 3)}
+
+
+class TestBuildTco:
+    def test_every_topic_connected_without_cap(self):
+        topics = {
+            "a": [1, 2, 3],
+            "b": [3, 4, 5],
+            "c": [1, 5, 6, 7],
+        }
+        edges = build_tco(topics)
+        comps = topic_components(topics, edges)
+        assert all(c == 1 for c in comps.values())
+
+    def test_reuses_edges_across_topics(self):
+        topics = {"a": [1, 2], "b": [1, 2], "c": [1, 2]}
+        edges = build_tco(topics)
+        assert len(edges) == 1
+
+    def test_degree_cap_respected(self):
+        topics = {f"t{i}": [0, i] for i in range(1, 8)}
+        edges = build_tco(topics, max_degree=3)
+        degree = {}
+        for u, v in edges:
+            degree[u] = degree.get(u, 0) + 1
+            degree[v] = degree.get(v, 0) + 1
+        assert max(degree.values(), default=0) <= 3
+
+    def test_small_topics_prioritized_under_cap(self):
+        # With a tight cap, the tiny topic must still get its edge.
+        topics = {"small": [8, 9], "big": [0, 1, 2, 3, 4, 5, 6, 7]}
+        edges = build_tco(topics, max_degree=2)
+        assert topic_components(topics, edges)["small"] == 1
+
+    def test_singleton_topics_need_no_edges(self):
+        assert build_tco({"t": [5]}) == set()
+
+    def test_matches_greedy_merge_connectivity(self):
+        topics = {"a": [1, 2, 3, 4], "b": [2, 4, 6], "c": [5, 6]}
+        gm = greedy_merge_edges(topics)
+        dc = build_tco(topics)
+        gm_comps = topic_components(topics, gm)
+        dc_comps = topic_components(topics, dc)
+        assert gm_comps == dc_comps  # both fully connect every topic

@@ -1,0 +1,98 @@
+"""Recovery mechanism (§III-F): CMA-driven link replacement."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SelectConfig
+from repro.core.recovery import RecoveryManager
+from repro.core.select import SelectOverlay
+from repro.graphs.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def overlay():
+    graph = load_dataset("facebook", num_nodes=100, seed=21)
+    cfg = SelectConfig(max_rounds=25, cma_min_observations=2, cma_threshold=0.5)
+    return SelectOverlay(graph, config=cfg).build(seed=21)
+
+
+def fresh_overlay():
+    graph = load_dataset("facebook", num_nodes=100, seed=21)
+    cfg = SelectConfig(max_rounds=25, cma_min_observations=2, cma_threshold=0.5)
+    return SelectOverlay(graph, config=cfg).build(seed=21)
+
+
+class TestRecoveryManager:
+    def test_all_online_no_replacements(self):
+        ov = fresh_overlay()
+        manager = RecoveryManager(ov)
+        online = np.ones(ov.graph.num_nodes, dtype=bool)
+        manager.tick(online)
+        assert manager.replacements == 0
+        assert manager.kept_unresponsive == 0
+
+    def test_first_failure_kept_not_replaced(self):
+        ov = fresh_overlay()
+        manager = RecoveryManager(ov)
+        online = np.ones(ov.graph.num_nodes, dtype=bool)
+        victim = next(
+            w for w in sorted(ov.tables[0].long_links)
+        )
+        online[victim] = False
+        manager.tick(online)
+        # One observation < cma_min_observations: kept, not replaced.
+        assert victim in ov.tables[0].long_links or manager.replacements == 0
+        assert manager.kept_unresponsive > 0
+
+    def test_chronically_offline_replaced(self):
+        ov = fresh_overlay()
+        manager = RecoveryManager(ov)
+        online = np.ones(ov.graph.num_nodes, dtype=bool)
+        victims = sorted(ov.tables[0].long_links)[:1]
+        online[victims[0]] = False
+        for _ in range(4):
+            manager.tick(online)
+        assert victims[0] not in ov.tables[0].long_links
+        assert manager.replacements > 0
+
+    def test_high_cma_peer_survives_transient_failure(self):
+        ov = fresh_overlay()
+        manager = RecoveryManager(ov)
+        n = ov.graph.num_nodes
+        online = np.ones(n, dtype=bool)
+        victim = sorted(ov.tables[0].long_links)[0]
+        # Long history of being online...
+        for _ in range(10):
+            manager.tick(online)
+        # ...then one transient failure: kept.
+        online[victim] = False
+        manager.tick(online)
+        assert victim in ov.tables[0].long_links
+
+    def test_ring_restitched_over_live_peers(self):
+        ov = fresh_overlay()
+        manager = RecoveryManager(ov)
+        n = ov.graph.num_nodes
+        online = np.ones(n, dtype=bool)
+        online[np.arange(0, n, 3)] = False  # a third of the network gone
+        manager.tick(online)
+        for v in range(n):
+            if not online[v]:
+                continue
+            assert online[ov.tables[v].successor]
+            assert online[ov.tables[v].predecessor]
+
+    def test_replacement_is_online_known_friend(self):
+        ov = fresh_overlay()
+        manager = RecoveryManager(ov)
+        n = ov.graph.num_nodes
+        online = np.ones(n, dtype=bool)
+        before = {v: set(ov.tables[v].long_links) for v in range(n)}
+        dead = sorted(before[0])[:2]
+        online[dead] = False
+        for _ in range(4):
+            manager.tick(online)
+        added = ov.tables[0].long_links - before[0]
+        for w in added:
+            assert online[w]
+            assert w in ov.peers[0].known_bitmap or w in ov.peers[0].known_mutual

@@ -1,0 +1,138 @@
+"""SELECT overlay end-to-end construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SelectConfig
+from repro.core.select import SelectOverlay
+from repro.graphs.datasets import load_dataset
+from repro.idspace.space import ring_distance
+from repro.net.bandwidth import BandwidthModel
+from repro.util.exceptions import ConfigurationError
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        SelectConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k_links": 0},
+            {"lsh_samples": 0},
+            {"max_rounds": 0},
+            {"exchanges_per_round": 0},
+            {"movement_tolerance": 0.0},
+            {"convergence_rounds": 0},
+            {"max_moves": -1},
+            {"merge_radius": 0.0},
+            {"stabilize_after": 0},
+            {"max_link_changes": 0},
+            {"cma_threshold": 2.0},
+            {"invite_spread": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SelectConfig(**kwargs)
+
+
+class TestBuild:
+    def test_converges_before_cap(self, built_select):
+        assert 0 < built_select.iterations < built_select.config.max_rounds
+
+    def test_ids_in_ring(self, built_select):
+        assert (built_select.ids >= 0).all() and (built_select.ids < 1).all()
+        # Distinct positions: the round barrier nudges peers that would
+        # stack on the midpoint of the same anchor pair.
+        distinct = len(set(built_select.ids.tolist()))
+        assert distinct == built_select.graph.num_nodes
+
+    def test_ring_links_present(self, built_select):
+        for table in built_select.tables:
+            assert table.predecessor is not None
+            assert table.successor is not None
+
+    def test_long_links_are_social(self, built_select):
+        assert built_select.social_link_fraction() == 1.0
+
+    def test_link_budget_respected(self, built_select):
+        k = built_select.k_links
+        for table in built_select.tables:
+            assert len(table.long_links) <= k
+
+    def test_incoming_cap_respected(self, built_select):
+        k = built_select.k_links
+        incoming = np.zeros(built_select.graph.num_nodes, dtype=int)
+        for v, table in enumerate(built_select.tables):
+            for w in table.long_links:
+                incoming[w] += 1
+        assert incoming.max() <= k
+
+    def test_friends_cluster_in_id_space(self, built_select):
+        graph = built_select.graph
+        ids = built_select.ids
+        friend = built_select.mean_friend_distance()
+        rng = np.random.default_rng(0)
+        pairs = rng.integers(0, graph.num_nodes, size=(300, 2))
+        random_pairs = np.mean(
+            [ring_distance(float(ids[a]), float(ids[b])) for a, b in pairs if a != b]
+        )
+        # Socially connected peers sit closer than random pairs (Fig. 8).
+        assert friend < 0.8 * random_pairs
+
+    def test_using_before_build_rejected(self, small_graph):
+        overlay = SelectOverlay(small_graph)
+        with pytest.raises(ConfigurationError):
+            overlay.links(0)
+
+    def test_deterministic_given_seed(self, small_graph):
+        cfg = SelectConfig(max_rounds=12)
+        a = SelectOverlay(small_graph, config=cfg).build(seed=3)
+        b = SelectOverlay(small_graph, config=cfg).build(seed=3)
+        assert np.array_equal(a.ids, b.ids)
+        assert all(
+            a.tables[v].long_links == b.tables[v].long_links
+            for v in range(small_graph.num_nodes)
+        )
+
+    def test_different_seeds_differ(self, small_graph):
+        cfg = SelectConfig(max_rounds=8)
+        a = SelectOverlay(small_graph, config=cfg).build(seed=3)
+        b = SelectOverlay(small_graph, config=cfg).build(seed=4)
+        assert not np.array_equal(a.ids, b.ids)
+
+    def test_trace_recorded(self, built_select):
+        assert "id_moves" in built_select.trace
+        assert "link_changes" in built_select.trace
+
+    def test_k_links_override(self, small_graph):
+        overlay = SelectOverlay(small_graph, k_links=3, config=SelectConfig(max_rounds=6)).build(seed=1)
+        assert overlay.k_links == 3
+        assert all(len(t.long_links) <= 3 for t in overlay.tables)
+
+
+class TestAblations:
+    def test_reassignment_off_keeps_projection_ids(self, small_graph):
+        cfg = SelectConfig(max_rounds=8, reassign_ids=False)
+        overlay = SelectOverlay(small_graph, config=cfg).build(seed=5)
+        # Without Algorithm 2 friends stay farther apart on the ring.
+        cfg_on = SelectConfig(max_rounds=30)
+        overlay_on = SelectOverlay(small_graph, config=cfg_on).build(seed=5)
+        assert overlay.mean_friend_distance() > overlay_on.mean_friend_distance()
+
+    def test_lsh_off_still_builds(self, small_graph):
+        cfg = SelectConfig(max_rounds=8, use_lsh=False)
+        overlay = SelectOverlay(small_graph, config=cfg).build(seed=5)
+        assert overlay.iterations > 0
+        assert any(t.long_links for t in overlay.tables)
+
+
+class TestBandwidthAwareness:
+    def test_eviction_prefers_fast_sources(self, small_graph):
+        bw = BandwidthModel(small_graph.num_nodes, seed=1)
+        cfg = SelectConfig(max_rounds=12)
+        overlay = SelectOverlay(small_graph, config=cfg, bandwidth=bw).build(seed=2)
+        assert overlay.upload_mbps is not None
+        # Sanity: still a valid overlay.
+        assert all(len(t.long_links) <= overlay.k_links for t in overlay.tables)

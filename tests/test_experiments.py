@@ -1,0 +1,205 @@
+"""Experiment harness: configs, per-figure runs, CLI plumbing.
+
+Uses a micro config so the whole module stays fast; the experiments'
+numbers are validated for *shape* (who wins), not absolute values.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablation,
+    conn_sweep,
+    fig2_hops,
+    fig3_relays,
+    fig4_load,
+    fig5_iterations,
+    fig6_churn,
+    fig7_latency,
+    fig8_ids,
+    table2,
+)
+from repro.experiments.cli import EXPERIMENTS, build_parser, config_from_args, main
+from repro.experiments.common import ExperimentConfig
+from repro.util.exceptions import ConfigurationError
+
+MICRO = ExperimentConfig(
+    datasets=("facebook",),
+    systems=("select", "symphony"),
+    num_nodes=90,
+    trials=1,
+    lookups=30,
+    publishers=4,
+)
+
+
+class TestConfig:
+    def test_presets_exist(self):
+        for name in ("quick", "default", "full"):
+            assert isinstance(ExperimentConfig.preset(name), ExperimentConfig)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig.preset("huge")
+
+    def test_with_overrides(self):
+        cfg = ExperimentConfig.quick().with_(trials=9)
+        assert cfg.trials == 9
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(num_nodes=2)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(trials=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(systems=("selectron",))
+
+
+class TestTable2:
+    def test_rows_have_paper_columns(self):
+        rows = table2.run(MICRO)
+        assert len(rows) == 1
+        assert rows[0]["paper_users"] == 63_731
+        assert rows[0]["users"] > 0
+
+    def test_report_renders(self):
+        out = table2.report(MICRO)
+        assert "Table II" in out and "facebook" in out
+
+
+class TestFig2:
+    def test_rows_and_reduction(self):
+        rows = fig2_hops.run(MICRO, points=2)
+        systems = {r["system"] for r in rows}
+        assert systems == {"select", "symphony"}
+        sizes = {r["size"] for r in rows}
+        assert len(sizes) == 2
+        # Paper shape: SELECT needs fewer hops than Symphony.
+        at_large = {r["system"]: r["hops"] for r in rows if r["size"] == max(sizes)}
+        assert at_large["select"] < at_large["symphony"]
+
+    def test_report_mentions_reduction(self):
+        out = fig2_hops.report(MICRO, points=2)
+        assert "hop reduction" in out
+
+
+class TestFig3:
+    def test_select_fewer_relays_than_symphony(self):
+        rows = fig3_relays.run(MICRO)
+        at = {r["system"]: r["relays_per_path"] for r in rows}
+        assert at["select"] < at["symphony"]
+
+    def test_report_renders(self):
+        assert "relay" in fig3_relays.report(MICRO).lower()
+
+
+class TestFig4:
+    def test_shares_cover_all_bins(self):
+        rows = fig4_load.run(MICRO, num_bins=4)
+        for r in rows:
+            assert len(r["share_percent"]) == 4
+            assert 0 <= r["gini"] <= 1
+
+    def test_report_renders(self):
+        out = fig4_load.report(MICRO, num_bins=4)
+        assert "Figure 4" in out and "Total forwards" in out
+
+
+class TestFig5:
+    def test_only_iterative_systems(self):
+        cfg = MICRO.with_(systems=("select", "symphony", "vitis"))
+        rows = fig5_iterations.run(cfg)
+        assert {r["system"] for r in rows} == {"select", "vitis"}
+
+    def test_select_fewer_iterations(self):
+        cfg = MICRO.with_(systems=("select", "vitis"))
+        rows = fig5_iterations.run(cfg)
+        at = {r["system"]: r["iterations"] for r in rows}
+        assert at["select"] < at["vitis"]
+
+
+class TestFig6:
+    def test_recovery_beats_no_recovery(self):
+        rows = fig6_churn.run(MICRO, ticks=4, horizon=1000.0)
+        by_variant = {r["variant"]: r for r in rows}
+        rec = by_variant["SELECT (recovery)"]
+        no_rec = by_variant["SELECT (no recovery)"]
+        assert rec["mean_availability"] >= no_rec["mean_availability"]
+        assert rec["mean_availability"] > 0.95
+        assert len(rec["availability_series"]) == 4
+
+
+class TestFig7:
+    def test_random_overlay_included_and_slower(self):
+        rows = fig7_latency.run(MICRO)
+        at = {r["system"]: r["latency_ms"] for r in rows}
+        assert "random" in at
+        assert at["select"] < at["random"]
+
+    def test_probe_linear_in_connections(self):
+        probe = fig7_latency.simultaneous_transfer_probe(fanouts=(1, 2, 4))
+        times = [r["total_ms"] for r in probe]
+        assert times[1] == pytest.approx(2 * times[0])
+        assert times[2] == pytest.approx(4 * times[0])
+
+
+class TestFig8:
+    def test_friends_closer_than_random(self):
+        rows = fig8_ids.run(MICRO, bins=8)
+        r = rows[0]
+        assert r["mean_friend_distance"] < r["mean_random_distance"]
+        assert len(r["histogram"]) == 8
+        assert sum(r["histogram"]) == pytest.approx(1.0)
+
+
+class TestAblation:
+    def test_variants_all_measured(self):
+        rows = ablation.run(MICRO, churn_ticks=3)
+        assert {r["variant"] for r in rows} == set(ablation.VARIANTS)
+        for r in rows:
+            assert r["hops"] >= 1.0
+            assert 0.0 <= r["availability"] <= 1.0
+
+    def test_recovery_ablation_hurts_availability(self):
+        rows = ablation.run(MICRO, churn_ticks=3)
+        by = {r["variant"]: r for r in rows}
+        assert by["no-recovery"]["availability"] <= by["full"]["availability"]
+
+    def test_report_renders(self):
+        assert "Ablation" in ablation.report(MICRO)
+
+
+class TestConnSweep:
+    def test_hops_improve_with_more_links(self):
+        rows = conn_sweep.run(MICRO)
+        by_k = {r["k_links"]: r["hops"] for r in rows}
+        ks = sorted(by_k)
+        assert by_k[ks[0]] > by_k[ks[-1]]  # K=1 much worse than large K
+
+    def test_sweep_includes_log2n(self):
+        values = conn_sweep.sweep_values(256)
+        assert 8 in values
+
+
+class TestCli:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table2", "ablation", "conn-sweep", "geo", "fig2", "fig3", "fig4",
+            "fig5", "fig6", "fig7", "fig8",
+        }
+
+    def test_parser_overrides(self):
+        args = build_parser().parse_args(
+            ["fig3", "--preset", "quick", "--num-nodes", "99", "--trials", "2",
+             "--datasets", "facebook", "--seed", "7"]
+        )
+        cfg = config_from_args(args)
+        assert cfg.num_nodes == 99
+        assert cfg.trials == 2
+        assert cfg.datasets == ("facebook",)
+        assert cfg.seed == 7
+
+    def test_main_runs_table2(self, capsys):
+        rc = main(["table2", "--preset", "quick", "--num-nodes", "80",
+                   "--datasets", "facebook", "--trials", "1"])
+        assert rc == 0
+        assert "Table II" in capsys.readouterr().out

@@ -1,0 +1,82 @@
+"""Experiment row export (CSV/JSON)."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments import table2
+from repro.experiments.cli import main
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.export import export_experiment, rows_to_csv, rows_to_json
+from repro.util.exceptions import ConfigurationError
+
+MICRO = ExperimentConfig(
+    datasets=("facebook",),
+    systems=("select",),
+    num_nodes=80,
+    trials=1,
+    lookups=10,
+    publishers=2,
+)
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5, "c": "x"}]
+        path = rows_to_csv(rows, str(tmp_path / "out.csv"))
+        with open(path) as fh:
+            back = list(csv.DictReader(fh))
+        assert back[0]["a"] == "1"
+        assert back[1]["c"] == "x"
+        assert back[0]["c"] == ""  # missing key -> empty cell
+
+    def test_list_fields_json_encoded(self, tmp_path):
+        rows = [{"hist": [1, 2, 3]}]
+        path = rows_to_csv(rows, str(tmp_path / "h.csv"))
+        with open(path) as fh:
+            back = list(csv.DictReader(fh))
+        assert json.loads(back[0]["hist"]) == [1, 2, 3]
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            rows_to_csv([], str(tmp_path / "x.csv"))
+
+
+class TestJson:
+    def test_roundtrip(self, tmp_path):
+        rows = [{"a": 1, "nested": {"x": [1, 2]}}]
+        path = rows_to_json(rows, str(tmp_path / "out.json"))
+        with open(path) as fh:
+            assert json.load(fh) == rows
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            rows_to_json([], str(tmp_path / "x.json"))
+
+
+class TestExportExperiment:
+    def test_table2_csv(self, tmp_path):
+        path = export_experiment("table2", table2, MICRO, str(tmp_path))
+        with open(path) as fh:
+            back = list(csv.DictReader(fh))
+        assert back[0]["dataset"] == "facebook"
+        assert int(back[0]["paper_users"]) == 63_731
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            export_experiment("table2", table2, MICRO, str(tmp_path), fmt="xml")
+
+    def test_cli_export_flag(self, tmp_path, capsys):
+        rc = main(
+            [
+                "table2",
+                "--preset", "quick",
+                "--num-nodes", "80",
+                "--datasets", "facebook",
+                "--trials", "1",
+                "--export", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "table2.csv").exists()

@@ -1,0 +1,63 @@
+"""Dataset registry (Table II profiles)."""
+
+import pytest
+
+from repro.graphs.datasets import DATASETS, available_datasets, load_dataset
+from repro.util.exceptions import DatasetError
+
+
+class TestRegistry:
+    def test_four_paper_datasets(self):
+        assert set(available_datasets()) == {"facebook", "twitter", "gplus", "slashdot"}
+
+    def test_paper_statistics_recorded(self):
+        fb = DATASETS["facebook"]
+        assert fb.paper_users == 63_731
+        assert fb.paper_connections == 817_090
+        assert fb.paper_avg_degree == pytest.approx(25.642)
+        tw = DATASETS["twitter"]
+        assert tw.paper_users == 3_990_418
+
+    def test_gplus_densest(self):
+        assert DATASETS["gplus"].paper_avg_degree > DATASETS["twitter"].paper_avg_degree
+
+
+class TestLoadDataset:
+    def test_load_by_name(self):
+        g = load_dataset("facebook", num_nodes=80, seed=1)
+        assert g.name == "facebook"
+        assert 40 <= g.num_nodes <= 80  # LCC may trim a few
+
+    def test_name_aliases(self):
+        g1 = load_dataset("Google+", num_nodes=64, seed=2)
+        g2 = load_dataset("gplus", num_nodes=64, seed=2)
+        assert g1.name == g2.name == "gplus"
+        assert sorted(g1.edges()) == sorted(g2.edges())
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("myspace")
+
+    def test_seeded_determinism(self):
+        a = load_dataset("slashdot", num_nodes=100, seed=3)
+        b = load_dataset("slashdot", num_nodes=100, seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_default_size_used_when_unspecified(self):
+        profile = DATASETS["facebook"]
+        g = profile.generate(seed=1)
+        assert g.num_nodes > profile.default_num_nodes // 2
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("facebook", num_nodes=4)
+
+    def test_degree_capped_for_tiny_graphs(self):
+        # gplus wants avg degree 127; at 80 nodes it must be capped.
+        g = load_dataset("gplus", num_nodes=80, seed=4)
+        assert g.average_degree() < 40
+
+    def test_sparse_vs_dense_character_preserved(self):
+        slash = load_dataset("slashdot", num_nodes=300, seed=5)
+        gplus = load_dataset("gplus", num_nodes=300, seed=5)
+        assert gplus.average_degree() > slash.average_degree()

@@ -1,0 +1,79 @@
+"""Synthetic graph generators."""
+
+import pytest
+
+from repro.graphs.generators import community_graph, powerlaw_cluster_graph, random_graph
+from repro.graphs.stats import graph_stats
+from repro.util.exceptions import ConfigurationError
+
+
+class TestPowerlawCluster:
+    def test_degree_target_roughly_met(self):
+        g = powerlaw_cluster_graph(400, avg_degree=16, seed=1)
+        assert 10 <= g.average_degree() <= 22
+
+    def test_connected(self):
+        g = powerlaw_cluster_graph(200, avg_degree=8, seed=2)
+        lcc = g.largest_component()
+        assert lcc.num_nodes == g.num_nodes
+
+    def test_heavy_tail(self):
+        g = powerlaw_cluster_graph(500, avg_degree=10, seed=3)
+        assert g.degrees.max() > 3 * g.average_degree()
+
+    def test_clustering_present(self):
+        g = powerlaw_cluster_graph(300, avg_degree=12, triangle_prob=0.8, seed=4)
+        stats = graph_stats(g)
+        assert stats.clustering > 0.1
+
+    def test_deterministic_with_seed(self):
+        a = powerlaw_cluster_graph(100, 8, seed=9)
+        b = powerlaw_cluster_graph(100, 8, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = powerlaw_cluster_graph(100, 8, seed=9)
+        b = powerlaw_cluster_graph(100, 8, seed=10)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            powerlaw_cluster_graph(3, 2)
+
+    def test_bad_triangle_prob_rejected(self):
+        with pytest.raises(ConfigurationError):
+            powerlaw_cluster_graph(100, 8, triangle_prob=1.5)
+
+
+class TestCommunityGraph:
+    def test_basic_shape(self):
+        g = community_graph(300, num_communities=6, intra_degree=10, seed=5)
+        assert g.num_nodes > 200
+        assert g.average_degree() > 4
+
+    def test_single_community(self):
+        g = community_graph(60, num_communities=1, intra_degree=8, seed=6)
+        assert g.num_nodes > 40
+
+    def test_zero_communities_rejected(self):
+        with pytest.raises(ConfigurationError):
+            community_graph(100, num_communities=0)
+
+    def test_more_communities_than_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            community_graph(5, num_communities=10)
+
+
+class TestRandomGraph:
+    def test_expected_degree(self):
+        g = random_graph(400, avg_degree=10, seed=7)
+        assert 7 <= g.average_degree() <= 13
+
+    def test_deterministic(self):
+        a = random_graph(100, 6, seed=8)
+        b = random_graph(100, 6, seed=8)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_graph(1, 2)

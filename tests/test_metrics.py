@@ -1,0 +1,145 @@
+"""Measurement layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.recovery import RecoveryManager
+from repro.metrics.availability import churn_availability
+from repro.metrics.hops import sample_friend_pairs, social_lookup_hops
+from repro.metrics.latency import dissemination_latencies
+from repro.metrics.load import forward_counts, load_gini, load_share_by_degree
+from repro.metrics.relays import publish_relays
+from repro.net.bandwidth import BandwidthModel
+from repro.net.churn import ChurnModel
+from repro.net.latency import LatencyModel
+from repro.pubsub.api import PubSubSystem
+
+
+@pytest.fixture(scope="module")
+def pubsub(built_select):
+    return PubSubSystem(built_select)
+
+
+class TestHops:
+    def test_pairs_are_friends(self, small_graph):
+        pairs = sample_friend_pairs(small_graph, 50, seed=1)
+        assert len(pairs) == 50
+        for u, v in pairs:
+            assert small_graph.has_edge(u, v)
+
+    def test_pairs_seeded(self, small_graph):
+        assert sample_friend_pairs(small_graph, 20, seed=2) == sample_friend_pairs(
+            small_graph, 20, seed=2
+        )
+
+    def test_invalid_count(self, small_graph):
+        with pytest.raises(ValueError):
+            sample_friend_pairs(small_graph, 0)
+
+    def test_hops_positive(self, pubsub, small_graph):
+        pairs = sample_friend_pairs(small_graph, 40, seed=3)
+        hops = social_lookup_hops(pubsub, pairs)
+        assert hops.size == 40
+        assert (hops >= 1).all()
+
+    def test_select_hops_small(self, pubsub, small_graph):
+        pairs = sample_friend_pairs(small_graph, 100, seed=4)
+        hops = social_lookup_hops(pubsub, pairs)
+        assert hops.mean() < 4.0  # SELECT: friends 1-2 hops away mostly
+
+
+class TestRelays:
+    def test_stats_consistent(self, pubsub):
+        stats = publish_relays(pubsub, publishers=[0, 1, 2, 3])
+        assert stats.delivery_ratio == 1.0
+        assert stats.per_tree.size == 4
+        assert stats.mean_per_path >= 0
+        assert stats.mean_per_tree >= stats.mean_per_path or stats.mean_per_tree >= 0
+
+    def test_empty_publishers(self, pubsub):
+        stats = publish_relays(pubsub, publishers=[])
+        assert stats.delivery_ratio == 1.0
+        assert stats.mean_per_path == 0.0
+
+
+class TestLoad:
+    def test_forward_counts_shape(self, pubsub, small_graph):
+        counts = forward_counts(pubsub, publishers=[0, 5, 9])
+        assert counts.shape == (small_graph.num_nodes,)
+        assert counts.sum() > 0
+
+    def test_share_by_degree_sums_to_100(self, pubsub, small_graph):
+        counts = forward_counts(pubsub, publishers=[0, 5, 9])
+        series = load_share_by_degree(small_graph, counts, num_bins=5)
+        total = sum(share for _, share in series)
+        assert total == pytest.approx(100.0)
+
+    def test_degree_bins_sorted(self, pubsub, small_graph):
+        counts = forward_counts(pubsub, publishers=[2])
+        series = load_share_by_degree(small_graph, counts, num_bins=4)
+        degrees = [d for d, _ in series]
+        assert degrees == sorted(degrees)
+
+    def test_mismatched_counts_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            load_share_by_degree(small_graph, np.zeros(3))
+
+    def test_gini_bounds(self, pubsub):
+        counts = forward_counts(pubsub, publishers=[0, 1])
+        assert 0.0 <= load_gini(counts) <= 1.0
+
+
+class TestLatency:
+    def test_latencies_positive(self, pubsub, small_graph):
+        bw = BandwidthModel(small_graph.num_nodes, seed=1)
+        lat = LatencyModel(small_graph.num_nodes, seed=1)
+        times = dissemination_latencies(pubsub, [0, 3, 7], bw, lat)
+        assert times.size == 3
+        assert (times > 0).all()
+
+    def test_larger_payload_slower(self, pubsub, small_graph):
+        bw = BandwidthModel(small_graph.num_nodes, seed=1)
+        lat = LatencyModel(small_graph.num_nodes, seed=1)
+        small = dissemination_latencies(pubsub, [0], bw, lat, size_mb=0.5)
+        large = dissemination_latencies(pubsub, [0], bw, lat, size_mb=5.0)
+        assert large[0] > small[0]
+
+
+class TestAvailability:
+    def test_recovery_keeps_full_availability(self, small_graph):
+        from repro.core.config import SelectConfig
+        from repro.core.select import SelectOverlay
+
+        overlay = SelectOverlay(small_graph, config=SelectConfig(max_rounds=25)).build(seed=2)
+        churn = ChurnModel(small_graph.num_nodes, seed=2)
+        matrix = churn.online_matrix(2000.0, ticks=6)
+        points = churn_availability(
+            overlay, matrix, lookups_per_tick=25,
+            repair=RecoveryManager(overlay).tick, seed=2,
+        )
+        avail = np.array([p.availability for p in points])
+        assert avail.mean() > 0.95
+
+    def test_no_repair_blind_routing_degrades(self, small_graph):
+        from repro.core.config import SelectConfig
+        from repro.core.select import SelectOverlay
+
+        overlay = SelectOverlay(small_graph, config=SelectConfig(max_rounds=25)).build(seed=2)
+        churn = ChurnModel(small_graph.num_nodes, seed=2)
+        matrix = churn.online_matrix(2000.0, ticks=6)
+        points = churn_availability(overlay, matrix, lookups_per_tick=25, seed=2)
+        avail = np.array([p.availability for p in points])
+        assert avail.mean() < 0.99
+
+    def test_points_have_online_fraction(self, small_graph):
+        from repro.core.config import SelectConfig
+        from repro.core.select import SelectOverlay
+
+        overlay = SelectOverlay(small_graph, config=SelectConfig(max_rounds=10)).build(seed=3)
+        churn = ChurnModel(small_graph.num_nodes, seed=3)
+        matrix = churn.online_matrix(1000.0, ticks=4)
+        points = churn_availability(overlay, matrix, lookups_per_tick=10, seed=3)
+        assert len(points) == 4
+        for p in points:
+            assert 0.5 <= p.online_fraction <= 1.0
+            assert 0.0 <= p.availability <= 1.0

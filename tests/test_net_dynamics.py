@@ -1,0 +1,197 @@
+"""Dynamic models: churn, growth, workload, CMA availability."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.datasets import load_dataset
+from repro.net.availability import CumulativeMovingAverage, OnlineBehavior
+from repro.net.churn import ChurnModel
+from repro.net.growth import GrowthModel
+from repro.net.workload import PublishWorkload
+from repro.util.exceptions import ConfigurationError
+
+
+class TestChurnSchedule:
+    def test_alternating_states(self):
+        model = ChurnModel(5, seed=1)
+        sched = model.schedule(0, horizon=10_000.0)
+        # State flips at each boundary.
+        s0 = sched.is_online(0.0)
+        first = float(sched.boundaries[0])
+        assert sched.is_online(first + 1e-6) == (not s0)
+
+    def test_online_fraction_bounds(self):
+        model = ChurnModel(5, seed=2)
+        for p in range(5):
+            frac = model.schedule(p, 5_000.0).online_fraction(5_000.0)
+            assert 0.0 <= frac <= 1.0
+
+    def test_biased_peers_less_online(self):
+        model = ChurnModel(400, offline_bias_fraction=0.5, seed=3)
+        horizon = 20_000.0
+        fracs = np.array([model.schedule(p, horizon).online_fraction(horizon) for p in range(400)])
+        assert fracs[model.offline_biased].mean() < fracs[~model.offline_biased].mean()
+
+    def test_matrix_shape_and_floor(self):
+        model = ChurnModel(60, mean_session=100.0, mean_offline=400.0, seed=4)
+        m = model.online_matrix(horizon=5_000.0, ticks=12)
+        assert m.shape == (12, 60)
+        # Paper constraint: never below half the network online.
+        assert (m.sum(axis=1) >= 30).all()
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            ChurnModel(0)
+        with pytest.raises(ConfigurationError):
+            ChurnModel(5, mean_session=-1.0)
+        model = ChurnModel(5, seed=5)
+        with pytest.raises(ConfigurationError):
+            model.schedule(9, 100.0)
+        with pytest.raises(ConfigurationError):
+            model.schedule(0, -5.0)
+
+
+class TestGrowth:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return load_dataset("facebook", num_nodes=120, seed=9)
+
+    def test_covers_every_user_once(self, graph):
+        events = GrowthModel(graph, seed=1).join_order()
+        users = [e.user for e in events]
+        assert sorted(users) == list(range(graph.num_nodes))
+
+    def test_inviter_joined_earlier_and_is_friend(self, graph):
+        events = GrowthModel(graph, seed=2).join_order()
+        joined = set()
+        for e in events:
+            if e.inviter is not None:
+                assert e.inviter in joined
+                assert graph.has_edge(e.user, e.inviter)
+            joined.add(e.user)
+
+    def test_steps_nondecreasing(self, graph):
+        events = GrowthModel(graph, seed=3).join_order()
+        steps = [e.step for e in events]
+        assert steps == sorted(steps)
+
+    def test_all_independent_when_seed_fraction_one(self, graph):
+        events = GrowthModel(graph, seed_fraction=1.0, seed=4).join_order()
+        assert all(e.inviter is None for e in events)
+
+    def test_mostly_invited_when_seed_fraction_zero(self, graph):
+        events = GrowthModel(graph, seed_fraction=0.0, seed=5).join_order()
+        invited = sum(1 for e in events if e.inviter is not None)
+        assert invited >= graph.num_nodes - 1 - 5  # all but seeds of components
+
+    def test_inviter_map(self, graph):
+        model = GrowthModel(graph, seed=6)
+        events = model.join_order()
+        mapping = model.inviter_map(events)
+        assert len(mapping) == graph.num_nodes
+
+    def test_invalid_params(self, graph):
+        with pytest.raises(ConfigurationError):
+            GrowthModel(graph, initial_rate=0.5)
+        with pytest.raises(ConfigurationError):
+            GrowthModel(graph, decay=0.0)
+        with pytest.raises(ConfigurationError):
+            GrowthModel(graph, seed_fraction=1.5)
+
+
+class TestWorkload:
+    def test_events_sorted_and_within_horizon(self):
+        w = PublishWorkload(50, mean_rate=0.05, seed=1)
+        events = w.events_until(200.0)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(0 <= t < 200.0 for t in times)
+
+    def test_rate_normalization(self):
+        w = PublishWorkload(100, mean_rate=0.02, seed=2)
+        # Population posts ~ mean_rate * num_users per second.
+        assert w.rates.sum() == pytest.approx(0.02 * 100)
+
+    def test_publisher_fraction(self):
+        w = PublishWorkload(200, publisher_fraction=0.1, seed=3)
+        assert 5 <= len(w.publishers) <= 40
+
+    def test_heterogeneous_rates(self):
+        w = PublishWorkload(300, rate_sigma=1.5, seed=4)
+        positive = w.rates[w.rates > 0]
+        assert positive.max() > 5 * np.median(positive)
+
+    def test_sample_publishers_weighted(self):
+        w = PublishWorkload(50, rate_sigma=2.0, seed=5)
+        sample = w.sample_publishers(2000)
+        top = int(np.argmax(w.rates))
+        # The highest-rate user should appear much more often than average.
+        assert (sample == top).sum() > 2000 / 50
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            PublishWorkload(0)
+        with pytest.raises(ConfigurationError):
+            PublishWorkload(10, mean_rate=0)
+        w = PublishWorkload(10, seed=6)
+        with pytest.raises(ConfigurationError):
+            w.events_until(0)
+        with pytest.raises(ConfigurationError):
+            w.sample_publishers(0)
+
+
+class TestCma:
+    def test_streaming_mean(self):
+        cma = CumulativeMovingAverage()
+        for obs in (True, False, True, True):
+            cma.update(obs)
+        assert cma.value == pytest.approx(0.75)
+        assert cma.count == 4
+
+    def test_initial_state(self):
+        cma = CumulativeMovingAverage()
+        assert cma.value == 0.0 and cma.count == 0
+
+
+class TestOnlineBehavior:
+    def test_unknown_contact_optimistic(self):
+        ob = OnlineBehavior()
+        assert ob.availability(42) == 1.0
+        assert not ob.should_replace(42)
+
+    def test_replace_after_enough_bad_observations(self):
+        ob = OnlineBehavior(threshold=0.5, min_observations=3)
+        for _ in range(3):
+            ob.observe(7, False)
+        assert ob.should_replace(7)
+
+    def test_keep_before_min_observations(self):
+        ob = OnlineBehavior(threshold=0.5, min_observations=3)
+        ob.observe(7, False)
+        assert not ob.should_replace(7)
+
+    def test_keep_high_cma_contact(self):
+        ob = OnlineBehavior(threshold=0.5, min_observations=3)
+        for _ in range(10):
+            ob.observe(7, True)
+        ob.observe(7, False)
+        assert not ob.should_replace(7)
+
+    def test_forget(self):
+        ob = OnlineBehavior()
+        ob.observe(7, False)
+        ob.forget(7)
+        assert ob.availability(7) == 1.0
+        assert ob.tracked() == []
+
+    def test_tracked_sorted(self):
+        ob = OnlineBehavior()
+        ob.observe(9, True)
+        ob.observe(2, True)
+        assert ob.tracked() == [2, 9]
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            OnlineBehavior(threshold=1.5)
+        with pytest.raises(ConfigurationError):
+            OnlineBehavior(min_observations=0)

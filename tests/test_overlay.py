@@ -1,0 +1,219 @@
+"""Overlay substrate: ring links, routing tables, greedy routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.graph import SocialGraph
+from repro.overlay.base import OverlayNetwork, RoutingTable
+from repro.overlay.ring import predecessor_of, ring_links, successor_of
+from repro.overlay.routing import GreedyRouter
+from repro.util.exceptions import ConfigurationError
+
+
+class TestRingLinks:
+    def test_forms_single_cycle(self):
+        ids = np.array([0.1, 0.7, 0.3, 0.9, 0.5])
+        pairs = ring_links(ids)
+        # Follow successors: must visit all nodes exactly once.
+        seen = []
+        node = 0
+        for _ in range(len(ids)):
+            seen.append(node)
+            node = pairs[node][1]
+        assert sorted(seen) == list(range(len(ids)))
+        assert node == 0
+
+    def test_pred_succ_inverse(self):
+        ids = np.array([0.4, 0.2, 0.8])
+        pairs = ring_links(ids)
+        for v, (pred, succ) in enumerate(pairs):
+            assert pairs[succ][0] == v
+            assert pairs[pred][1] == v
+
+    def test_duplicate_ids_still_cycle(self):
+        ids = np.array([0.5, 0.5, 0.5])
+        pairs = ring_links(ids)
+        node = 0
+        for _ in range(3):
+            node = pairs[node][1]
+        assert node == 0
+
+    def test_two_peers(self):
+        pairs = ring_links(np.array([0.1, 0.9]))
+        assert pairs[0] == (1, 1)
+        assert pairs[1] == (0, 0)
+
+    def test_single_peer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ring_links(np.array([0.5]))
+
+    @given(st.lists(st.floats(min_value=0, max_value=1, exclude_max=True), min_size=2, max_size=30, unique=True))
+    @settings(max_examples=40)
+    def test_successor_is_clockwise_nearest(self, raw_ids):
+        ids = np.array(raw_ids)
+        point = 0.42
+        succ = successor_of(ids, point)
+        # successor must be the smallest id >= point, or the global min.
+        geq = ids[ids >= point]
+        expected = geq.min() if geq.size else ids.min()
+        assert ids[succ] == expected
+
+    def test_predecessor_wraps(self):
+        ids = np.array([0.2, 0.6])
+        assert predecessor_of(ids, 0.1) == 1  # wraps to the largest id
+
+
+class TestRoutingTable:
+    def test_budget_enforced(self):
+        t = RoutingTable(0, max_long=2)
+        assert t.add_long(1) and t.add_long(2)
+        assert not t.add_long(3)
+        assert t.long_links == {1, 2}
+
+    def test_self_link_refused(self):
+        t = RoutingTable(0, max_long=2)
+        assert not t.add_long(0)
+
+    def test_re_add_is_noop_success(self):
+        t = RoutingTable(0, max_long=1)
+        assert t.add_long(1)
+        assert t.add_long(1)
+
+    def test_all_links_includes_ring(self):
+        t = RoutingTable(0, max_long=2)
+        t.predecessor, t.successor = 5, 6
+        t.add_long(1)
+        assert t.all_links() == {1, 5, 6}
+        assert 5 in t and 2 not in t
+
+    def test_drop(self):
+        t = RoutingTable(0, max_long=2)
+        t.add_long(1)
+        t.drop_long(1)
+        t.drop_long(99)  # absent is fine
+        assert t.long_links == set()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RoutingTable(0, max_long=-1)
+
+
+class _LineOverlay(OverlayNetwork):
+    """Deterministic overlay for routing tests: ids 0, 0.1, ..., ring only."""
+
+    name = "line"
+
+    def build(self, seed=None):
+        n = self.graph.num_nodes
+        self.ids = np.arange(n) / n
+        for v, (pred, succ) in enumerate(ring_links(self.ids)):
+            self.tables[v].predecessor = pred
+            self.tables[v].successor = succ
+        self._mark_built()
+        return self
+
+
+@pytest.fixture()
+def line_overlay():
+    n = 10
+    graph = SocialGraph(n, [(i, (i + 1) % n) for i in range(n)])
+    return _LineOverlay(graph, k_links=2).build()
+
+
+class TestGreedyRouter:
+    def test_trivial_self_route(self, line_overlay):
+        r = GreedyRouter(line_overlay).route(3, 3)
+        assert r.delivered and r.path == [3] and r.hops == 0
+
+    def test_ring_route_shortest_direction(self, line_overlay):
+        r = GreedyRouter(line_overlay, lookahead=False).route(0, 3)
+        assert r.delivered
+        assert r.path == [0, 1, 2, 3]
+
+    def test_ring_route_wraps(self, line_overlay):
+        r = GreedyRouter(line_overlay, lookahead=False).route(0, 8)
+        assert r.delivered
+        assert r.path == [0, 9, 8]
+
+    def test_long_link_shortcut_used(self, line_overlay):
+        line_overlay.tables[0].long_links.add(5)
+        r = GreedyRouter(line_overlay, lookahead=False).route(0, 5)
+        assert r.path == [0, 5]
+
+    def test_lookahead_two_hop(self, line_overlay):
+        # 0 links to 4; 4 links to 7: lookahead should find 0->4->7.
+        line_overlay.tables[0].long_links.add(4)
+        line_overlay.tables[4].long_links.add(7)
+        r = GreedyRouter(line_overlay, lookahead=True).route(0, 7)
+        assert r.path == [0, 4, 7]
+
+    def test_offline_destination_fails(self, line_overlay):
+        online = np.ones(10, dtype=bool)
+        online[3] = False
+        r = GreedyRouter(line_overlay).route(0, 3, online=online)
+        assert not r.delivered
+
+    def test_detour_around_offline_with_detection(self, line_overlay):
+        online = np.ones(10, dtype=bool)
+        online[1] = False  # clockwise path blocked
+        r = GreedyRouter(line_overlay, lookahead=False).route(0, 2, online=online)
+        assert r.delivered
+        assert 1 not in r.path
+
+    def test_blind_forwarding_loses_message(self, line_overlay):
+        online = np.ones(10, dtype=bool)
+        online[1] = False
+        r = GreedyRouter(line_overlay, lookahead=False).route(
+            0, 2, online=online, detect_failures=False
+        )
+        assert not r.delivered
+        assert r.path[-1] == 1  # died in 1's hands
+
+    def test_max_hops_caps(self, line_overlay):
+        r = GreedyRouter(line_overlay, lookahead=False, max_hops=1).route(0, 5)
+        assert not r.delivered
+
+    def test_route_many(self, line_overlay):
+        results = GreedyRouter(line_overlay).route_many([(0, 1), (2, 5)])
+        assert all(r.delivered for r in results)
+
+    def test_unbuilt_overlay_rejected(self):
+        graph = SocialGraph(4, [(0, 1), (1, 2), (2, 3)])
+        overlay = _LineOverlay(graph)
+        with pytest.raises(ConfigurationError):
+            overlay.links(0)
+
+
+class TestOverlayBase:
+    def test_k_default_log2(self):
+        graph = SocialGraph(64, [(i, (i + 1) % 64) for i in range(64)])
+        overlay = _LineOverlay(graph)
+        assert overlay.k_links == 6
+
+    def test_incoming_cap(self, line_overlay):
+        target = 5
+        accepted = sum(line_overlay.try_accept_incoming(target) for _ in range(10))
+        assert accepted == line_overlay.k_links
+        line_overlay.release_incoming(target)
+        assert line_overlay.try_accept_incoming(target)
+
+    def test_edge_count_counts_undirected(self, line_overlay):
+        base = line_overlay.edge_count()
+        line_overlay.tables[0].long_links.add(5)
+        assert line_overlay.edge_count() == base + 1
+        # Reverse direction adds nothing.
+        line_overlay.tables[5].long_links.add(0)
+        assert line_overlay.edge_count() == base + 1
+
+    def test_degree_vector(self, line_overlay):
+        deg = line_overlay.degree_vector()
+        assert deg.shape == (10,)
+        assert (deg >= 2).all()  # ring links at least
+
+    def test_lookahead_set(self, line_overlay):
+        la = line_overlay.lookahead_set(0)
+        assert set(la) == line_overlay.links(0)
+        for w, links in la.items():
+            assert links == line_overlay.links(w)

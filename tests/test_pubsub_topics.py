@@ -1,0 +1,116 @@
+"""Topic-based pub/sub extension (groups/pages)."""
+
+import numpy as np
+import pytest
+
+from repro.pubsub.topics import TopicPubSub, zipf_topic_subscriptions
+from repro.util.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def subscriptions(small_graph):
+    return zipf_topic_subscriptions(small_graph, num_topics=12, seed=3)
+
+
+@pytest.fixture(scope="module")
+def topic_pubsub(built_select, subscriptions):
+    return TopicPubSub(built_select, subscriptions)
+
+
+class TestZipfSubscriptions:
+    def test_every_topic_has_members(self, subscriptions, small_graph):
+        assert len(subscriptions) == 12
+        for members in subscriptions.values():
+            assert len(members) >= 2
+            assert all(0 <= m < small_graph.num_nodes for m in members)
+
+    def test_zipf_popularity_decays(self, subscriptions):
+        sizes = [len(subscriptions[t]) for t in sorted(subscriptions)]
+        assert sizes[0] > sizes[-1]
+
+    def test_community_bias_clusters_members(self, small_graph):
+        biased = zipf_topic_subscriptions(
+            small_graph, num_topics=8, community_bias=1.0, seed=5
+        )
+        uniform = zipf_topic_subscriptions(
+            small_graph, num_topics=8, community_bias=0.0, seed=5
+        )
+
+        def internal_edge_fraction(subs):
+            hits = trials = 0
+            for members in subs.values():
+                members = sorted(members)
+                for i, u in enumerate(members):
+                    for v in members[i + 1 :]:
+                        trials += 1
+                        hits += small_graph.has_edge(u, v)
+            return hits / max(trials, 1)
+
+        assert internal_edge_fraction(biased) > internal_edge_fraction(uniform)
+
+    def test_deterministic(self, small_graph):
+        a = zipf_topic_subscriptions(small_graph, 6, seed=9)
+        b = zipf_topic_subscriptions(small_graph, 6, seed=9)
+        assert a == b
+
+    def test_invalid_params(self, small_graph):
+        with pytest.raises(ConfigurationError):
+            zipf_topic_subscriptions(small_graph, 0)
+        with pytest.raises(ConfigurationError):
+            zipf_topic_subscriptions(small_graph, 3, mean_subscriptions=0)
+        with pytest.raises(ConfigurationError):
+            zipf_topic_subscriptions(small_graph, 3, community_bias=1.5)
+
+
+class TestTopicPubSub:
+    def test_topics_listing(self, topic_pubsub):
+        assert topic_pubsub.topics() == sorted(range(12))
+
+    def test_topics_of_user(self, topic_pubsub, subscriptions):
+        user = next(iter(subscriptions[0]))
+        assert 0 in topic_pubsub.topics_of(user)
+
+    def test_publish_reaches_all_members(self, topic_pubsub):
+        for topic in (0, 3, 7):
+            result = topic_pubsub.publish(topic)
+            assert result.delivery_ratio == 1.0
+            assert result.publisher not in result.subscribers
+
+    def test_external_publisher_allowed(self, topic_pubsub, subscriptions, small_graph):
+        outsider = next(
+            v for v in range(small_graph.num_nodes) if v not in subscriptions[1]
+        )
+        result = topic_pubsub.publish(1, publisher=outsider)
+        assert result.delivery_ratio == 1.0
+        assert set(result.subscribers) == subscriptions[1]
+
+    def test_online_filter(self, topic_pubsub, small_graph):
+        online = np.ones(small_graph.num_nodes, dtype=bool)
+        members = topic_pubsub.subscriptions[0]
+        victim = max(members)
+        online[victim] = False
+        result = topic_pubsub.publish(0, online=online)
+        assert victim not in result.subscribers
+
+    def test_unknown_topic_rejected(self, topic_pubsub):
+        with pytest.raises(ConfigurationError):
+            topic_pubsub.publish(10**6)
+
+    def test_empty_subscriptions_rejected(self, built_select):
+        with pytest.raises(ConfigurationError):
+            TopicPubSub(built_select, {})
+
+    def test_community_topics_need_fewer_relays_than_scattered(self, built_select, small_graph):
+        biased = zipf_topic_subscriptions(
+            small_graph, num_topics=10, community_bias=1.0, seed=11
+        )
+        scattered = zipf_topic_subscriptions(
+            small_graph, num_topics=10, community_bias=0.0, seed=11
+        )
+
+        def mean_relays(subs):
+            ps = TopicPubSub(built_select, subs)
+            return np.mean([len(ps.publish(t).relay_nodes) for t in ps.topics()])
+
+        # SELECT's social embedding helps socially clustered groups most.
+        assert mean_relays(biased) <= mean_relays(scattered)

@@ -1,0 +1,170 @@
+"""Simulation substrate: superstep engine, event queue, trace recorder."""
+
+import pytest
+
+from repro.sim.engine import SuperstepEngine
+from repro.sim.events import EventQueue
+from repro.sim.trace import TraceRecorder
+from repro.util.exceptions import SimulationError
+
+
+class EchoProgram:
+    """Vertex 0 sends a token around a ring of vertices, then halts."""
+
+    def __init__(self, laps=1):
+        self.laps = laps
+        self.received = []
+
+    def compute(self, ctx, vertex, messages):
+        if ctx.superstep == 0 and vertex == 0:
+            ctx.send(1 % ctx.num_vertices, ("token", 0))
+        for kind, hops in messages:
+            self.received.append((vertex, ctx.superstep))
+            if hops + 1 < self.laps * ctx.num_vertices:
+                ctx.send((vertex + 1) % ctx.num_vertices, (kind, hops + 1))
+        ctx.vote_to_halt()
+
+
+class TestSuperstepEngine:
+    def test_message_arrives_next_superstep(self):
+        program = EchoProgram()
+        engine = SuperstepEngine(3, program)
+        engine.run(max_supersteps=10)
+        # Token visits vertices 1, 2, 0 at supersteps 1, 2, 3.
+        assert program.received == [(1, 1), (2, 2), (0, 3)]
+
+    def test_quiesces_when_all_halt(self):
+        engine = SuperstepEngine(3, EchoProgram())
+        iterations = engine.run(max_supersteps=100)
+        assert iterations < 100
+
+    def test_message_reactivates_halted_vertex(self):
+        program = EchoProgram(laps=2)
+        engine = SuperstepEngine(3, program)
+        engine.run(max_supersteps=20)
+        assert len(program.received) == 6  # two laps
+
+    def test_max_supersteps_caps(self):
+        class Chatter:
+            def compute(self, ctx, vertex, messages):
+                ctx.send(vertex, "again")  # never quiet
+
+        engine = SuperstepEngine(2, Chatter())
+        assert engine.run(max_supersteps=5) == 5
+
+    def test_stop_when_predicate(self):
+        class Chatter:
+            def compute(self, ctx, vertex, messages):
+                ctx.send(vertex, "x")
+
+        engine = SuperstepEngine(2, Chatter())
+        engine.run(max_supersteps=50, stop_when=lambda e: e.supersteps_run >= 3)
+        assert engine.supersteps_run == 3
+
+    def test_total_messages_counted(self):
+        program = EchoProgram()
+        engine = SuperstepEngine(4, program)
+        engine.run(max_supersteps=10)
+        assert engine.total_messages == 4  # initial + 3 forwards
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(SimulationError):
+            SuperstepEngine(0, EchoProgram())
+        engine = SuperstepEngine(1, EchoProgram())
+        with pytest.raises(SimulationError):
+            engine.run(max_supersteps=0)
+
+    def test_active_count_drops(self):
+        engine = SuperstepEngine(3, EchoProgram())
+        engine.run(max_supersteps=10)
+        assert engine.active_count == 0
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.schedule(5.0, "b")
+        q.schedule(1.0, "a")
+        assert q.pop().kind == "a"
+        assert q.pop().kind == "b"
+        assert q.now == 5.0
+
+    def test_fifo_for_simultaneous(self):
+        q = EventQueue()
+        q.schedule(1.0, "first")
+        q.schedule(1.0, "second")
+        assert [q.pop().kind, q.pop().kind] == ["first", "second"]
+
+    def test_schedule_at_absolute(self):
+        q = EventQueue()
+        q.schedule_at(3.0, "x", payload=42)
+        e = q.pop()
+        assert e.time == 3.0 and e.payload == 42
+
+    def test_past_scheduling_rejected(self):
+        q = EventQueue()
+        q.schedule(1.0, "a")
+        q.pop()
+        with pytest.raises(SimulationError):
+            q.schedule(-0.5, "late")
+        with pytest.raises(SimulationError):
+            q.schedule_at(0.5, "late")
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_run_until(self):
+        q = EventQueue()
+        for t in (0.5, 1.5, 2.5):
+            q.schedule_at(t, "tick")
+        seen = []
+        count = q.run_until(2.0, lambda e: seen.append(e.time))
+        assert count == 2
+        assert seen == [0.5, 1.5]
+        assert q.now == 2.0
+        assert len(q) == 1
+
+    def test_handler_can_reschedule(self):
+        q = EventQueue()
+        q.schedule(1.0, "tick")
+
+        def handler(event):
+            if q.now < 5.0:
+                q.schedule(1.0, "tick")
+
+        dispatched = q.run_until(10.0, handler)
+        assert dispatched == 5
+
+    def test_bool_and_len(self):
+        q = EventQueue()
+        assert not q
+        q.schedule(1.0, "a")
+        assert q and len(q) == 1
+
+
+class TestTraceRecorder:
+    def test_series_roundtrip(self):
+        t = TraceRecorder()
+        t.record("x", 0, 1.0)
+        t.record("x", 1, 2.0)
+        rounds, values = t.series("x")
+        assert list(rounds) == [0, 1]
+        assert list(values) == [1.0, 2.0]
+
+    def test_missing_series_empty(self):
+        rounds, values = TraceRecorder().series("nope")
+        assert len(rounds) == 0 and len(values) == 0
+
+    def test_last_with_default(self):
+        t = TraceRecorder()
+        assert t.last("nope", default=-1.0) == -1.0
+        t.record("x", 0, 3.0)
+        assert t.last("x") == 3.0
+
+    def test_names_and_contains(self):
+        t = TraceRecorder()
+        t.record("b", 0, 1)
+        t.record("a", 0, 1)
+        assert t.names() == ["a", "b"]
+        assert "a" in t and "c" not in t

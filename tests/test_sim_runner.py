@@ -1,0 +1,87 @@
+"""Time-driven notification simulator."""
+
+import pytest
+
+from repro.core.recovery import RecoveryManager
+from repro.net.bandwidth import BandwidthModel
+from repro.net.churn import ChurnModel
+from repro.net.latency import LatencyModel
+from repro.net.workload import PublishWorkload
+from repro.sim.runner import NotificationSimulator
+from repro.util.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def workload(built_select):
+    return PublishWorkload(built_select.graph.num_nodes, mean_rate=0.002, seed=4)
+
+
+class TestNotificationSimulator:
+    def test_static_network_full_delivery(self, built_select, workload):
+        sim = NotificationSimulator(built_select, workload)
+        report = sim.run(horizon=600.0)
+        assert report.notifications > 0
+        assert report.availability == 1.0
+        assert all(r.complete for r in report.records)
+
+    def test_latency_recorded_with_models(self, built_select, workload):
+        n = built_select.graph.num_nodes
+        sim = NotificationSimulator(
+            built_select,
+            workload,
+            bandwidth=BandwidthModel(n, seed=1),
+            latency=LatencyModel(n, seed=1),
+        )
+        report = sim.run(horizon=600.0)
+        assert report.mean_latency_ms > 0
+
+    def test_churn_with_recovery_keeps_availability(self, small_graph):
+        # Fresh overlay: recovery mutates link state, so the shared
+        # session fixture must stay untouched.
+        from repro.core.config import SelectConfig
+        from repro.core.select import SelectOverlay
+
+        overlay = SelectOverlay(small_graph, config=SelectConfig(max_rounds=25)).build(seed=9)
+        n = small_graph.num_nodes
+        workload = PublishWorkload(n, mean_rate=0.002, seed=4)
+        churn = ChurnModel(n, seed=5)
+        sim = NotificationSimulator(
+            overlay,
+            workload,
+            churn=churn,
+            repair=RecoveryManager(overlay).tick,
+            maintenance_period=30.0,
+        )
+        report = sim.run(horizon=600.0)
+        assert report.maintenance_ticks >= 19
+        assert report.availability > 0.9
+
+    def test_offline_publishers_do_not_post(self, built_select, workload):
+        n = built_select.graph.num_nodes
+        # Extreme churn: everyone mostly offline.
+        churn = ChurnModel(
+            n, mean_session=1.0, mean_offline=10_000.0, offline_bias_fraction=1.0, seed=6
+        )
+        sim = NotificationSimulator(built_select, workload, churn=churn)
+        baseline = NotificationSimulator(built_select, workload)
+        assert sim.run(300.0).notifications <= baseline.run(300.0).notifications
+
+    def test_relays_tracked(self, built_select, workload):
+        sim = NotificationSimulator(built_select, workload)
+        report = sim.run(horizon=600.0)
+        assert report.mean_relays >= 0.0
+
+    def test_invalid_params(self, built_select, workload):
+        with pytest.raises(ConfigurationError):
+            NotificationSimulator(built_select, workload, maintenance_period=0)
+        sim = NotificationSimulator(built_select, workload)
+        with pytest.raises(ConfigurationError):
+            sim.run(horizon=0)
+
+    def test_empty_report_properties(self, built_select):
+        quiet = PublishWorkload(built_select.graph.num_nodes, mean_rate=1e-9, seed=7)
+        sim = NotificationSimulator(built_select, quiet)
+        report = sim.run(horizon=1.0)
+        assert report.availability == 1.0
+        assert report.mean_latency_ms == 0.0
+        assert report.mean_relays == 0.0

@@ -1,0 +1,111 @@
+"""Packed-bitset operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.bitset import (
+    bitset_from_indices,
+    bitset_intersection_count,
+    bitset_to_indices,
+    bitset_union_count,
+    get_bit,
+    hamming_distance,
+    popcount,
+    set_bit,
+    words_for_bits,
+)
+
+
+class TestWordsForBits:
+    def test_zero_bits(self):
+        assert words_for_bits(0) == 0
+
+    def test_one_bit_needs_one_word(self):
+        assert words_for_bits(1) == 1
+
+    def test_exact_word_boundary(self):
+        assert words_for_bits(64) == 1
+        assert words_for_bits(65) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            words_for_bits(-1)
+
+
+class TestFromIndices:
+    def test_empty(self):
+        words = bitset_from_indices([], 10)
+        assert popcount(words) == 0
+
+    def test_single_bit(self):
+        words = bitset_from_indices([3], 10)
+        assert popcount(words) == 1
+        assert get_bit(words, 3)
+        assert not get_bit(words, 2)
+
+    def test_cross_word_bits(self):
+        words = bitset_from_indices([0, 63, 64, 127], 128)
+        assert popcount(words) == 4
+        assert get_bit(words, 64)
+
+    def test_duplicate_indices_count_once(self):
+        words = bitset_from_indices([5, 5, 5], 10)
+        assert popcount(words) == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            bitset_from_indices([10], 10)
+        with pytest.raises(IndexError):
+            bitset_from_indices([-1], 10)
+
+
+class TestRoundtrip:
+    @given(st.sets(st.integers(min_value=0, max_value=199)))
+    @settings(max_examples=60)
+    def test_indices_roundtrip(self, indices):
+        words = bitset_from_indices(sorted(indices), 200)
+        back = bitset_to_indices(words)
+        assert set(back.tolist()) == indices
+
+    @given(st.sets(st.integers(min_value=0, max_value=199)))
+    @settings(max_examples=60)
+    def test_popcount_matches_cardinality(self, indices):
+        words = bitset_from_indices(sorted(indices), 200)
+        assert popcount(words) == len(indices)
+
+
+class TestSetOps:
+    @given(
+        st.sets(st.integers(min_value=0, max_value=150)),
+        st.sets(st.integers(min_value=0, max_value=150)),
+    )
+    @settings(max_examples=60)
+    def test_intersection_union_hamming(self, a, b):
+        wa = bitset_from_indices(sorted(a), 151)
+        wb = bitset_from_indices(sorted(b), 151)
+        assert bitset_intersection_count(wa, wb) == len(a & b)
+        assert bitset_union_count(wa, wb) == len(a | b)
+        assert hamming_distance(wa, wb) == len(a ^ b)
+
+    def test_shape_mismatch_rejected(self):
+        wa = bitset_from_indices([1], 64)
+        wb = bitset_from_indices([1], 128)
+        with pytest.raises(ValueError):
+            hamming_distance(wa, wb)
+
+
+class TestSetBit:
+    def test_set_and_clear(self):
+        words = np.zeros(2, dtype=np.uint64)
+        set_bit(words, 70, True)
+        assert get_bit(words, 70)
+        set_bit(words, 70, False)
+        assert not get_bit(words, 70)
+
+    def test_setting_does_not_disturb_neighbors(self):
+        words = bitset_from_indices([69, 71], 128)
+        set_bit(words, 70, True)
+        assert get_bit(words, 69) and get_bit(words, 70) and get_bit(words, 71)
+        assert popcount(words) == 3

@@ -1,0 +1,90 @@
+"""Statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.stats import confidence_interval, gini_coefficient, summarize
+
+
+class TestSummarize:
+    def test_single_value(self):
+        s = summarize([4.0])
+        assert s.count == 1
+        assert s.mean == 4.0
+        assert s.std == 0.0
+        assert s.ci95 == 0.0
+
+    def test_known_sample(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.std == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_mean_within_extremes(self, values):
+        s = summarize(values)
+        assert s.minimum - 1e-9 <= s.mean <= s.maximum + 1e-9
+
+
+class TestConfidenceInterval:
+    def test_zero_for_singletons(self):
+        assert confidence_interval([5.0]) == 0.0
+
+    def test_shrinks_with_sample_size(self):
+        rng = np.random.default_rng(0)
+        small = confidence_interval(rng.normal(size=10))
+        large = confidence_interval(rng.normal(size=1000))
+        assert large < small
+
+    def test_scales_with_z(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert confidence_interval(data, z=2.0) == pytest.approx(
+            2.0 * confidence_interval(data, z=1.0)
+        )
+
+
+class TestGini:
+    def test_perfectly_balanced(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_fully_concentrated(self):
+        # One peer does all the work: G -> (n-1)/n.
+        g = gini_coefficient([0, 0, 0, 10])
+        assert g == pytest.approx(0.75)
+
+    def test_all_zero_is_balanced(self):
+        assert gini_coefficient([0, 0, 0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([-1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([])
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=60))
+    @settings(max_examples=60)
+    def test_bounded_zero_one(self, values):
+        g = gini_coefficient(values)
+        assert -1e-9 <= g <= 1.0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=2, max_size=40),
+        st.integers(min_value=2, max_value=9),
+    )
+    @settings(max_examples=40)
+    def test_scale_invariant(self, values, factor):
+        if sum(values) == 0:
+            return
+        assert gini_coefficient(values) == pytest.approx(
+            gini_coefficient([v * factor for v in values])
+        )

@@ -1,0 +1,40 @@
+"""Text-table rendering."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_present(self):
+        out = format_table(["a", "bb"], [(1, 2.5), (3, 4.0)])
+        assert "a" in out and "bb" in out
+        assert "2.500" in out
+        assert "4.000" in out
+
+    def test_title_rendered(self):
+        out = format_table(["x"], [(1,)], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_columns_aligned(self):
+        out = format_table(["name", "v"], [("longvalue", 1), ("s", 2)])
+        lines = out.splitlines()
+        # Separator positions identical across data lines.
+        pipes = [line.index("|") for line in lines if "|" in line]
+        assert len(set(pipes)) == 1
+
+    def test_float_format_override(self):
+        out = format_table(["v"], [(1.23456,)], float_fmt="{:.1f}")
+        assert "1.2" in out and "1.2345" not in out
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+    def test_bool_not_rendered_as_float(self):
+        out = format_table(["flag"], [(True,)])
+        assert "True" in out
