@@ -30,8 +30,10 @@ from repro.core.select import SelectOverlay
 from repro.baselines.registry import build_overlay, system_names
 from repro.graphs.datasets import available_datasets, load_dataset
 from repro.graphs.graph import SocialGraph
+from repro.net.faults import FaultPlan, PingService, RingPartition
 from repro.pubsub.api import PubSubSystem
 from repro.experiments.common import ExperimentConfig
+from repro.util.exceptions import FaultInjectionError, PartitionError
 
 __version__ = "1.0.0"
 
@@ -46,5 +48,10 @@ __all__ = [
     "SocialGraph",
     "PubSubSystem",
     "ExperimentConfig",
+    "FaultPlan",
+    "PingService",
+    "RingPartition",
+    "FaultInjectionError",
+    "PartitionError",
     "__version__",
 ]

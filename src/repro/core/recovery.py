@@ -9,6 +9,12 @@ into each contact's Cumulative Moving Average. On an unresponsive contact:
   from the *same LSH bucket* (a peer with a similar friendship bitmap
   covers the same zone of the neighborhood).
 
+All liveness knowledge flows through a :class:`~repro.net.faults.PingService`:
+under a null fault plan it behaves as the oracle ping the paper's testbed
+effectively had, and under an active plan probes suffer false
+negatives/positives, retry with exponential backoff, and must clear a
+suspicion threshold before the keep/replace decision may fire.
+
 Ring (short-range) links are re-stitched over the live population, which
 is the standard DHT stabilization every ring overlay performs.
 """
@@ -18,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.select import SelectOverlay
+from repro.net.faults import PingService
 from repro.overlay.ring import ring_links
 from repro.util.bitset import hamming_distance
 
@@ -27,67 +34,94 @@ __all__ = ["RecoveryManager"]
 class RecoveryManager:
     """Drives SELECT's §III-F maintenance for one churn tick."""
 
-    def __init__(self, overlay: SelectOverlay):
+    def __init__(self, overlay: SelectOverlay, ping_service: "PingService | None" = None):
         self.overlay = overlay
+        self.pings = ping_service if ping_service is not None else PingService()
         self.replacements = 0
         self.kept_unresponsive = 0
+        #: replacements that evicted a contact which was actually online
+        #: (only possible under ping false negatives).
+        self.false_evictions = 0
+        #: replacement attempts abandoned for lack of a live candidate or an
+        #: admission slot; the dead link is kept and retried next tick.
+        self.failed_replacements = 0
 
     def tick(self, online: np.ndarray) -> None:
-        """One maintenance period: ping contacts, repair links and ring."""
+        """One maintenance period: probe contacts, repair links and ring."""
+        self.pings.set_ground_truth(online)
         ov = self.overlay
         for v in range(ov.graph.num_nodes):
-            if not online[v]:
+            if not self.pings.truth(v):  # a peer knows its own liveness
                 continue
             peer = ov.peers[v]
             for contact in list(peer.table.long_links):
-                peer.behavior.observe(contact, bool(online[contact]))
-                if online[contact]:
+                result = self.pings.probe(v, contact)
+                peer.behavior.observe(contact, result.responded)
+                if result.responded:
+                    continue
+                if not result.confirmed_down:
+                    # Under suspicion but not yet confirmed: never act on a
+                    # single noisy sample.
+                    self.kept_unresponsive += 1
                     continue
                 if peer.behavior.should_replace(contact):
-                    self._replace(v, contact, online)
+                    self._replace(v, contact)
                 else:
                     # Temporary failure: keep the link (avoids reassignment
                     # chains at the peers connected to us).
                     self.kept_unresponsive += 1
-        self._repair_ring(online)
+        self._repair_ring()
 
     # -- link replacement -----------------------------------------------------------
 
-    def _replace(self, v: int, dead: int, online: np.ndarray) -> None:
-        """Swap ``dead`` for a live same-bucket peer (similar bitmap)."""
+    def _replace(self, v: int, dead: int) -> None:
+        """Swap ``dead`` for a live same-bucket peer (similar bitmap).
+
+        The dead link is only released once a replacement is actually
+        wired in: giving up the slot with no candidate (or a failed
+        connect) would permanently under-link the peer, so on failure the
+        slot is kept and the swap retried on the next tick.
+        """
         ov = self.overlay
         peer = ov.peers[v]
-        candidate = self._same_bucket_candidate(peer, dead, online)
+        candidate = self._same_bucket_candidate(peer, v, dead)
         if candidate is None:
-            candidate = self._most_similar_candidate(peer, dead, online)
+            candidate = self._most_similar_candidate(peer, v, dead)
+        if candidate is None or not ov._try_connect_recovery(v, candidate):
+            self.failed_replacements += 1
+            return
+        if self.pings.truth(dead):
+            self.false_evictions += 1
         peer.table.long_links.discard(dead)
         ov._disconnect(v, dead)
         peer.forget_peer(dead)
-        if candidate is not None and ov._try_connect_recovery(v, candidate):
-            peer.table.long_links.add(candidate)
-            self.replacements += 1
+        self.pings.forget(v, dead)
+        peer.table.long_links.add(candidate)
+        self.replacements += 1
 
-    def _same_bucket_candidate(self, peer, dead: int, online: np.ndarray) -> "int | None":
+    def _same_bucket_candidate(self, peer, v: int, dead: int) -> "int | None":
         """A live, unlinked known friend sharing the dead peer's LSH bucket."""
         if dead not in peer.known_bitmap:
             return None
         dead_bucket = peer.bucket_of(dead)
         best = None
         for friend in peer.known_bitmap:
-            if friend == dead or friend in peer.table.long_links or not online[friend]:
+            if friend == dead or friend in peer.table.long_links:
                 continue
-            if peer.bucket_of(friend) == dead_bucket:
+            if peer.bucket_of(friend) == dead_bucket and self.pings.check(v, friend):
                 if best is None or friend < best:
                     best = friend
         return best
 
-    def _most_similar_candidate(self, peer, dead: int, online: np.ndarray) -> "int | None":
+    def _most_similar_candidate(self, peer, v: int, dead: int) -> "int | None":
         """Fallback: live known friend with the closest bitmap (Hamming)."""
         dead_bitmap = peer.known_bitmap.get(dead)
         best = None
         best_dist = None
         for friend, bitmap in peer.known_bitmap.items():
-            if friend == dead or friend in peer.table.long_links or not online[friend]:
+            if friend == dead or friend in peer.table.long_links:
+                continue
+            if not self.pings.check(v, friend):
                 continue
             if dead_bitmap is None:
                 dist = 0
@@ -100,10 +134,10 @@ class RecoveryManager:
 
     # -- ring stabilization ------------------------------------------------------------
 
-    def _repair_ring(self, online: np.ndarray) -> None:
+    def _repair_ring(self) -> None:
         """Re-stitch successor/predecessor links over the live peers."""
         ov = self.overlay
-        live = np.flatnonzero(online)
+        live = np.flatnonzero(self.pings.ground_truth())
         if live.size < 2:
             return
         live_ids = ov.ids[live]

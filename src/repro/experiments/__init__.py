@@ -12,6 +12,7 @@ Figure 5 (iters)     :mod:`repro.experiments.fig5_iterations`
 Figure 6 (churn)     :mod:`repro.experiments.fig6_churn`
 Figure 7 (latency)   :mod:`repro.experiments.fig7_latency`
 Figure 8 (ids)       :mod:`repro.experiments.fig8_ids`
+Fault sweep (ours)   :mod:`repro.experiments.faults`
 ===================  =============================================
 
 Every module exposes ``run(config) -> list[dict]`` (raw rows) and

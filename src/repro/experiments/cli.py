@@ -13,6 +13,7 @@ import time
 from repro.experiments import (
     ablation,
     conn_sweep,
+    faults,
     fig2_hops,
     fig3_relays,
     fig4_load,
@@ -31,6 +32,7 @@ EXPERIMENTS = {
     "table2": table2,
     "ablation": ablation,
     "conn-sweep": conn_sweep,
+    "faults": faults,
     "fig2": fig2_hops,
     "fig3": fig3_relays,
     "fig4": fig4_load,

@@ -15,6 +15,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.net.faults import FaultPlan
 from repro.overlay.base import OverlayNetwork
 from repro.util.rng import as_generator
 
@@ -38,6 +39,7 @@ def churn_availability(
     lookups_per_tick: int = 50,
     repair: "RepairFn | None" = None,
     detect_failures: "bool | None" = None,
+    faults: "FaultPlan | None" = None,
     seed=None,
 ) -> list[AvailabilityPoint]:
     """Run the Figure 6 measurement over a liveness matrix.
@@ -48,9 +50,13 @@ def churn_availability(
     lookups are attempted. ``detect_failures`` controls whether peers know
     their links' liveness; it defaults to True exactly when the system has
     a maintenance mechanism (pinging contacts is what maintenance does).
+    Under an active ``faults`` plan every routed lookup is additionally
+    replayed over the plan's lossy links (tick index = fault time), so
+    availability degrades with the injected loss instead of only churn.
     """
     if detect_failures is None:
         detect_failures = repair is not None
+    lossy = faults is not None and not faults.is_null
     rng = as_generator(seed)
     graph = overlay.graph
     router = overlay.make_router()
@@ -74,7 +80,13 @@ def churn_availability(
                 continue
             v = int(live_friends[rng.integers(live_friends.size)])
             attempted += 1
-            if router.route(u, v, online=online, detect_failures=detect_failures).delivered:
+            result = router.route(u, v, online=online, detect_failures=detect_failures)
+            ok = result.delivered
+            if ok and lossy:
+                ok = faults.transmit_path(
+                    result.path, ids=overlay.ids, time=float(tick)
+                ).delivered
+            if ok:
                 delivered += 1
         availability = delivered / attempted if attempted else 1.0
         points.append(

@@ -14,6 +14,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.net.faults import FaultPlan
 from repro.overlay.base import OverlayNetwork
 from repro.overlay.routing import RouteResult
 from repro.pubsub.tree import RoutingTree
@@ -32,6 +33,10 @@ class DisseminationResult:
     subscribers: list[int]
     tree: RoutingTree
     routes: dict[int, RouteResult]
+    #: retransmissions spent on lossy links during this publish.
+    retries: int = 0
+    #: subscribers lost to link faults (retry budget exhausted / partition).
+    dropped: int = 0
 
     @property
     def delivered(self) -> list[int]:
@@ -80,11 +85,13 @@ class PubSubSystem:
         overlay: OverlayNetwork,
         interest: "InterestFn | None" = None,
         lookahead: "bool | None" = None,
+        faults: "FaultPlan | None" = None,
     ):
         self.overlay = overlay
         self.graph = overlay.graph
         self.interest = interest
         self.router = overlay.make_router(lookahead=lookahead)
+        self.faults = faults
 
     def subscribers_of(self, publisher: int) -> list[int]:
         """``S_b``: the publisher's interested social friends."""
@@ -97,8 +104,13 @@ class PubSubSystem:
         self,
         publisher: int,
         online: "np.ndarray | None" = None,
+        time: float = 0.0,
     ) -> DisseminationResult:
-        """Disseminate one notification from ``publisher`` to ``S_b``."""
+        """Disseminate one notification from ``publisher`` to ``S_b``.
+
+        ``time`` only matters under an active fault plan, where it decides
+        which injected partitions are in effect.
+        """
         if not (0 <= publisher < self.graph.num_nodes):
             raise ConfigurationError(f"publisher {publisher} out of range")
         subscribers = self.subscribers_of(publisher)
@@ -110,6 +122,10 @@ class PubSubSystem:
         routes: dict[int, RouteResult] = self.overlay.disseminate(
             publisher, subscribers, self.router, online=online
         )
+        retries = 0
+        dropped = 0
+        if self.faults is not None and not self.faults.is_null:
+            routes, retries, dropped = self._inject_link_faults(routes, time)
         # Merge paths near-first so farther paths reuse tree prefixes
         # (message deduplication).
         for s in sorted(routes, key=lambda s: (len(routes[s].path), s)):
@@ -121,7 +137,39 @@ class PubSubSystem:
             subscribers=subscribers,
             tree=tree,
             routes=routes,
+            retries=retries,
+            dropped=dropped,
         )
+
+    def _inject_link_faults(
+        self, routes: dict[int, RouteResult], time: float
+    ) -> "tuple[dict[int, RouteResult], int, int]":
+        """Replay each routed path over the lossy links of the fault plan.
+
+        A shared edge cache ensures hops common to several paths (the
+        dissemination tree's shared prefixes) are transmitted — and can be
+        lost — exactly once per publish event.
+        """
+        edge_cache: dict = {}
+        out: dict[int, RouteResult] = {}
+        retries = 0
+        dropped = 0
+        for s, result in routes.items():
+            if not result.delivered:
+                out[s] = result
+                continue
+            outcome = self.faults.transmit_path(
+                result.path, ids=self.overlay.ids, time=time, edge_cache=edge_cache
+            )
+            retries += outcome.retries
+            if outcome.delivered:
+                out[s] = result
+            else:
+                dropped += 1
+                out[s] = RouteResult(
+                    path=result.path[: outcome.lost_at], delivered=False
+                )
+        return out, retries, dropped
 
     def lookup(self, src: int, dst: int, online: "np.ndarray | None" = None) -> RouteResult:
         """Point-to-point social lookup (Fig. 2's metric)."""

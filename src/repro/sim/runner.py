@@ -4,6 +4,9 @@ Ties the substrates together into one clock: the posting workload emits
 publish events, the churn model flips peers on/off, maintenance runs
 periodically (SELECT's recovery, OMen's mending, ...), and every publish
 is disseminated over the overlay *as the network looks at that instant*.
+An optional :class:`~repro.net.faults.FaultPlan` makes delivery lossy and
+the report then doubles as a graceful-degradation readout: drops,
+retransmissions, false evictions, and partition healing times.
 The result is an event log with per-notification delivery outcomes and
 latencies — the closest in-process analogue of the paper's ten-hour
 "realistic experiment" runs.
@@ -18,6 +21,7 @@ import numpy as np
 
 from repro.net.bandwidth import BandwidthModel
 from repro.net.churn import ChurnModel, ChurnSchedule
+from repro.net.faults import FaultPlan
 from repro.net.transfer import DEFAULT_PAYLOAD_MB, tree_dissemination_time
 from repro.net.workload import PublishWorkload
 from repro.overlay.base import OverlayNetwork
@@ -40,6 +44,10 @@ class NotificationRecord:
     delivered: int
     relay_nodes: int
     latency_ms: float
+    #: subscribers lost to injected link faults (0 without a fault plan).
+    dropped: int = 0
+    #: retransmissions spent on this notification's lossy hops.
+    retries: int = 0
 
     @property
     def complete(self) -> bool:
@@ -53,6 +61,12 @@ class SimulationReport:
 
     records: list[NotificationRecord] = field(default_factory=list)
     maintenance_ticks: int = 0
+    #: contacts evicted by recovery although they were actually online
+    #: (only under ping false negatives; 0 without a fault plan).
+    false_evictions: int = 0
+    #: per injected partition: time from the cut healing until the first
+    #: fully delivered notification (graceful-degradation metric).
+    partition_heal_times: list[float] = field(default_factory=list)
 
     @property
     def notifications(self) -> int:
@@ -76,6 +90,23 @@ class SimulationReport:
             return 0.0
         return float(np.mean([r.relay_nodes for r in self.records]))
 
+    @property
+    def drops(self) -> int:
+        """Total subscriber deliveries lost to injected link faults."""
+        return sum(r.dropped for r in self.records)
+
+    @property
+    def retries(self) -> int:
+        """Total retransmissions spent across all notifications."""
+        return sum(r.retries for r in self.records)
+
+    @property
+    def mean_partition_heal_time(self) -> float:
+        """Average partition healing time (0.0 when none were injected)."""
+        if not self.partition_heal_times:
+            return 0.0
+        return float(np.mean(self.partition_heal_times))
+
 
 class NotificationSimulator:
     """Drives an overlay through a time window of posts and churn."""
@@ -90,18 +121,25 @@ class NotificationSimulator:
         repair: "RepairFn | None" = None,
         maintenance_period: float = 60.0,
         payload_mb: float = DEFAULT_PAYLOAD_MB,
+        faults: "FaultPlan | None" = None,
     ):
         if maintenance_period <= 0:
             raise ConfigurationError(
                 f"maintenance_period must be positive, got {maintenance_period}"
             )
+        if payload_mb <= 0:
+            raise ConfigurationError(f"payload_mb must be positive, got {payload_mb}")
         self.overlay = overlay
-        self.pubsub = PubSubSystem(overlay)
+        self.faults = faults
+        self.pubsub = PubSubSystem(overlay, faults=faults)
         self.workload = workload
         self.churn = churn
         self.bandwidth = bandwidth
         self.latency = latency
         self.repair = repair
+        # A RecoveryManager bound method carries degradation counters the
+        # report surfaces; plain callables simply report zero.
+        self._repair_owner = getattr(repair, "__self__", None)
         self.maintenance_period = maintenance_period
         self.payload_mb = payload_mb
         self._schedules: "list[ChurnSchedule] | None" = None
@@ -129,8 +167,36 @@ class NotificationSimulator:
             queue.schedule_at(t, "maintain", None)
             t += self.maintenance_period
         report = SimulationReport()
+        evictions_before = getattr(self._repair_owner, "false_evictions", 0)
         queue.run_until(horizon, lambda e: self._handle(e, report))
+        report.false_evictions = (
+            getattr(self._repair_owner, "false_evictions", 0) - evictions_before
+        )
+        if self.faults is not None:
+            report.partition_heal_times = self._partition_heal_times(report, horizon)
         return report
+
+    def _partition_heal_times(self, report: SimulationReport, horizon: float) -> list[float]:
+        """Healing delay per injected partition that ends inside the run.
+
+        A partition counts as healed at the first notification after its
+        end that reached every online subscriber; an unhealed partition is
+        charged the remaining horizon.
+        """
+        heal_times = []
+        for partition in self.faults.partitions:
+            if not (0.0 <= partition.end < horizon):
+                continue
+            healed_at = next(
+                (
+                    r.time
+                    for r in report.records
+                    if r.time >= partition.end and r.complete and r.subscribers_online > 0
+                ),
+                horizon,
+            )
+            heal_times.append(healed_at - partition.end)
+        return heal_times
 
     def _handle(self, event, report: SimulationReport) -> None:
         if event.kind == "maintain":
@@ -145,7 +211,7 @@ class NotificationSimulator:
         online = self._online_at(event.time)
         if online is not None and not online[publish.publisher]:
             return  # offline users do not post
-        result = self.pubsub.publish(publish.publisher, online=online)
+        result = self.pubsub.publish(publish.publisher, online=online, time=event.time)
         latency_ms = 0.0
         if self.bandwidth is not None and self.latency is not None and result.delivered:
             latency_ms = tree_dissemination_time(
@@ -163,5 +229,7 @@ class NotificationSimulator:
                 delivered=len(result.delivered),
                 relay_nodes=len(result.relay_nodes),
                 latency_ms=latency_ms,
+                dropped=result.dropped,
+                retries=result.retries,
             )
         )

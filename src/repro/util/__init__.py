@@ -7,6 +7,8 @@ These helpers are deliberately dependency-light; everything in
 from repro.util.exceptions import (
     ConfigurationError,
     DatasetError,
+    FaultInjectionError,
+    PartitionError,
     ReproError,
     RoutingError,
     SimulationError,
@@ -30,6 +32,8 @@ from repro.util.tables import format_table
 __all__ = [
     "ConfigurationError",
     "DatasetError",
+    "FaultInjectionError",
+    "PartitionError",
     "ReproError",
     "RoutingError",
     "SimulationError",

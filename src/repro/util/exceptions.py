@@ -24,5 +24,13 @@ class SimulationError(ReproError):
     """The simulation engine was driven into an invalid state."""
 
 
+class FaultInjectionError(ReproError):
+    """A fault-injection plan was invalid or used out of order."""
+
+
+class PartitionError(FaultInjectionError):
+    """A network partition was specified with an invalid cut or window."""
+
+
 class RoutingError(ReproError):
     """A routing operation could not complete (e.g. unreachable target)."""

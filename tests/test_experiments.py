@@ -183,8 +183,8 @@ class TestConnSweep:
 class TestCli:
     def test_all_experiments_registered(self):
         assert set(EXPERIMENTS) == {
-            "table2", "ablation", "conn-sweep", "geo", "fig2", "fig3", "fig4",
-            "fig5", "fig6", "fig7", "fig8",
+            "table2", "ablation", "conn-sweep", "faults", "geo", "fig2", "fig3",
+            "fig4", "fig5", "fig6", "fig7", "fig8",
         }
 
     def test_parser_overrides(self):

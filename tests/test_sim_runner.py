@@ -1,10 +1,12 @@
 """Time-driven notification simulator."""
 
+import numpy as np
 import pytest
 
 from repro.core.recovery import RecoveryManager
 from repro.net.bandwidth import BandwidthModel
 from repro.net.churn import ChurnModel
+from repro.net.faults import FaultPlan, RingPartition
 from repro.net.latency import LatencyModel
 from repro.net.workload import PublishWorkload
 from repro.sim.runner import NotificationSimulator
@@ -78,6 +80,12 @@ class TestNotificationSimulator:
         with pytest.raises(ConfigurationError):
             sim.run(horizon=0)
 
+    def test_nonpositive_payload_rejected(self, built_select, workload):
+        with pytest.raises(ConfigurationError):
+            NotificationSimulator(built_select, workload, payload_mb=0)
+        with pytest.raises(ConfigurationError):
+            NotificationSimulator(built_select, workload, payload_mb=-1.5)
+
     def test_empty_report_properties(self, built_select):
         quiet = PublishWorkload(built_select.graph.num_nodes, mean_rate=1e-9, seed=7)
         sim = NotificationSimulator(built_select, quiet)
@@ -85,3 +93,76 @@ class TestNotificationSimulator:
         assert report.availability == 1.0
         assert report.mean_latency_ms == 0.0
         assert report.mean_relays == 0.0
+        assert report.drops == 0 and report.retries == 0
+        assert report.mean_partition_heal_time == 0.0
+
+
+class TestFaultySimulation:
+    def test_lossy_run_records_drops_and_retries(self, built_select, workload):
+        plan = FaultPlan(loss_rate=0.3, retry_budget=1, seed=41)
+        sim = NotificationSimulator(built_select, workload, faults=plan)
+        report = sim.run(horizon=600.0)
+        assert report.notifications > 0
+        assert report.drops > 0
+        assert report.retries > 0
+        assert report.availability < 1.0
+
+    def test_null_plan_run_matches_no_plan(self, built_select):
+        n = built_select.graph.num_nodes
+
+        def fresh_workload():
+            # The workload draws from its own RNG per run, so each side
+            # gets its own identically-seeded instance.
+            return PublishWorkload(n, mean_rate=0.002, seed=4)
+
+        plain = NotificationSimulator(built_select, fresh_workload()).run(horizon=600.0)
+        nulled = NotificationSimulator(
+            built_select, fresh_workload(), faults=FaultPlan.none()
+        ).run(horizon=600.0)
+        assert nulled.records == plain.records
+        assert nulled.availability == plain.availability
+        assert nulled.drops == 0 and nulled.retries == 0
+
+    def test_partition_heal_time_recorded(self, built_select, workload):
+        # Cut at the id-population median so the partition actually splits
+        # the overlay; it heals at t=300 of a 600-second run.
+        median = float(np.median(built_select.ids))
+        plan = FaultPlan(
+            partitions=(RingPartition(cut=(median, 0.999), start=0.0, end=300.0),),
+            seed=42,
+        )
+        sim = NotificationSimulator(built_select, workload, faults=plan)
+        report = sim.run(horizon=600.0)
+        assert len(report.partition_heal_times) == 1
+        heal = report.partition_heal_times[0]
+        assert 0.0 <= heal <= 300.0
+        assert report.mean_partition_heal_time == heal
+        # While the cut was up, deliveries were incomplete.
+        assert any(r.dropped > 0 for r in report.records if r.time < 300.0)
+
+    def test_false_evictions_surfaced_from_recovery(self, small_graph):
+        from repro.core.config import SelectConfig
+        from repro.core.select import SelectOverlay
+        from repro.net.faults import PingService
+
+        overlay = SelectOverlay(small_graph, config=SelectConfig(max_rounds=25)).build(seed=9)
+        n = small_graph.num_nodes
+        workload = PublishWorkload(n, mean_rate=0.002, seed=4)
+        churn = ChurnModel(n, seed=5)
+        # Brutal ping noise with a hair-trigger service: evictions of
+        # online contacts become likely, and the report must surface them.
+        plan = FaultPlan(
+            ping_false_negative=0.9, ping_attempts=1, suspicion_threshold=1, seed=43
+        )
+        manager = RecoveryManager(overlay, ping_service=PingService(plan))
+        sim = NotificationSimulator(
+            overlay,
+            workload,
+            churn=churn,
+            repair=manager.tick,
+            maintenance_period=30.0,
+            faults=plan,
+        )
+        report = sim.run(horizon=600.0)
+        assert report.false_evictions == manager.false_evictions
+        assert report.false_evictions > 0
