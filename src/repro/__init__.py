@@ -27,6 +27,8 @@ Packages:
 from repro.core.config import SelectConfig
 from repro.core.recovery import RecoveryManager
 from repro.core.select import SelectOverlay
+from repro.core.stabilize import CatchUpStore, Stabilizer
+from repro.overlay.doctor import DoctorReport, check_overlay
 from repro.baselines.registry import build_overlay, system_names
 from repro.graphs.datasets import available_datasets, load_dataset
 from repro.graphs.graph import SocialGraph
@@ -41,6 +43,10 @@ __all__ = [
     "SelectConfig",
     "SelectOverlay",
     "RecoveryManager",
+    "Stabilizer",
+    "CatchUpStore",
+    "DoctorReport",
+    "check_overlay",
     "build_overlay",
     "system_names",
     "available_datasets",

@@ -64,6 +64,14 @@ class SelectConfig:
         Recovery: observations required before a replace verdict.
     invite_spread:
         Maximum ring offset of an invited peer's id from its inviter's.
+    successor_list_length:
+        ``r`` — successors each peer remembers (immediate successor plus
+        ``r - 1`` backups). The stabilization layer survives up to
+        ``r - 1`` simultaneous ring-neighbor failures; the backups are
+        repair state only and never alter fault-free routing.
+    catchup_capacity:
+        Store-and-forward: notifications a ring neighbor buffers for a
+        down/partitioned subscriber before evicting the oldest.
     """
 
     k_links: int | None = None
@@ -82,6 +90,8 @@ class SelectConfig:
     cma_threshold: float = 0.5
     cma_min_observations: int = 3
     invite_spread: float = 1e-6
+    successor_list_length: int = 3
+    catchup_capacity: int = 64
 
     def __post_init__(self):
         if self.k_links is not None and self.k_links < 1:
@@ -123,4 +133,12 @@ class SelectConfig:
         if self.invite_spread <= 0:
             raise ConfigurationError(
                 f"invite_spread must be positive, got {self.invite_spread}"
+            )
+        if self.successor_list_length < 1:
+            raise ConfigurationError(
+                f"successor_list_length must be >= 1, got {self.successor_list_length}"
+            )
+        if self.catchup_capacity < 1:
+            raise ConfigurationError(
+                f"catchup_capacity must be >= 1, got {self.catchup_capacity}"
             )

@@ -174,6 +174,24 @@ class PeerState:
         self.lookahead.pop(peer, None)
         self.behavior.forget(peer)
 
+    def merge_candidates(self) -> set[int]:
+        """Peers this node can propose as rectify candidates.
+
+        Everything the peer has learned about beyond its routing table:
+        gossip-known friends, the lookahead set's members, and its own
+        long links. After a partition heals, SELECT's social id-clustering
+        means a boundary peer usually *knows* its true cross-cut ring
+        neighbor through one of these — which is what lets the merge pass
+        close the ring in a handful of rounds instead of walking it.
+        """
+        out: set[int] = set(self.table.long_links)
+        out.update(self.known_mutual)
+        out.update(self.lookahead)
+        for links in self.lookahead.values():
+            out.update(links)
+        out.discard(self.node)
+        return out
+
     # -- convenience -------------------------------------------------------------
 
     def friendship_bitmap_of(self, friend_links) -> np.ndarray:

@@ -34,9 +34,22 @@ __all__ = ["RecoveryManager"]
 class RecoveryManager:
     """Drives SELECT's §III-F maintenance for one churn tick."""
 
-    def __init__(self, overlay: SelectOverlay, ping_service: "PingService | None" = None):
+    def __init__(
+        self,
+        overlay: SelectOverlay,
+        ping_service: "PingService | None" = None,
+        stabilizer=None,
+    ):
         self.overlay = overlay
         self.pings = ping_service if ping_service is not None else PingService()
+        #: optional :class:`~repro.core.stabilize.Stabilizer`. When set and
+        #: the fault plan can actually do damage, ring repair runs through
+        #: it (local successor-list stabilization) instead of the oracle
+        #: re-stitch; under a null plan the oracle path is kept so default
+        #: results stay bit-identical to the seed.
+        self.stabilizer = stabilizer
+        #: simulation clock of the current tick (drives partition windows).
+        self.now = 0.0
         self.replacements = 0
         self.kept_unresponsive = 0
         #: replacements that evicted a contact which was actually online
@@ -45,9 +58,14 @@ class RecoveryManager:
         #: replacement attempts abandoned for lack of a live candidate or an
         #: admission slot; the dead link is kept and retried next tick.
         self.failed_replacements = 0
+        #: evictions cancelled by the last-chance confirmation probe (the
+        #: contact answered just before being replaced).
+        self.reprieves = 0
 
-    def tick(self, online: np.ndarray) -> None:
+    def tick(self, online: np.ndarray, time: "float | None" = None) -> None:
         """One maintenance period: probe contacts, repair links and ring."""
+        if time is not None:
+            self.now = float(time)
         self.pings.set_ground_truth(online)
         ov = self.overlay
         for v in range(ov.graph.num_nodes):
@@ -70,7 +88,10 @@ class RecoveryManager:
                     # Temporary failure: keep the link (avoids reassignment
                     # chains at the peers connected to us).
                     self.kept_unresponsive += 1
-        self._repair_ring()
+        if self.stabilizer is not None and not self.pings.faults.is_null:
+            self.stabilizer.round(online, time=self.now)
+        else:
+            self._repair_ring()
 
     # -- link replacement -----------------------------------------------------------
 
@@ -84,6 +105,13 @@ class RecoveryManager:
         """
         ov = self.overlay
         peer = ov.peers[v]
+        if not self.pings.faults.is_null and self.pings.check(v, dead):
+            # Last-chance confirmation probe before an eviction fires: a
+            # flapping contact that answers anything is live after all —
+            # keep it (the response also cleared its suspicion counter).
+            self.reprieves += 1
+            self.kept_unresponsive += 1
+            return
         candidate = self._same_bucket_candidate(peer, v, dead)
         if candidate is None:
             candidate = self._most_similar_candidate(peer, v, dead)

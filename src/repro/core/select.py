@@ -34,7 +34,7 @@ from repro.lsh.bitsampling import BitSamplingLsh
 from repro.net.bandwidth import BandwidthModel
 from repro.net.growth import GrowthModel, JoinEvent
 from repro.overlay.base import OverlayNetwork
-from repro.overlay.ring import ring_links
+from repro.overlay.ring import ring_links, successor_lists
 from repro.sim.engine import SuperstepEngine, VertexContext
 from repro.sim.trace import TraceRecorder
 from repro.util.rng import as_generator
@@ -200,9 +200,11 @@ class SelectOverlay(OverlayNetwork):
     def _refresh_ring(self) -> None:
         """Recompute short-range successor/predecessor links from ids."""
         pairs = ring_links(self.ids)
+        lists = successor_lists(self.ids, self.config.successor_list_length)
         for v, (pred, succ) in enumerate(pairs):
             self.tables[v].predecessor = pred
             self.tables[v].successor = succ
+            self.tables[v].successors = lists[v]
 
     def _end_of_round(self, engine: SuperstepEngine) -> bool:
         """Round barrier: publish pending ids, refresh ring, test convergence."""

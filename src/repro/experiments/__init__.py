@@ -13,6 +13,8 @@ Figure 6 (churn)     :mod:`repro.experiments.fig6_churn`
 Figure 7 (latency)   :mod:`repro.experiments.fig7_latency`
 Figure 8 (ids)       :mod:`repro.experiments.fig8_ids`
 Fault sweep (ours)   :mod:`repro.experiments.faults`
+Self-healing (ours)  :mod:`repro.experiments.stabilize`
+Doctor audit (ours)  :mod:`repro.experiments.doctor`
 ===================  =============================================
 
 Every module exposes ``run(config) -> list[dict]`` (raw rows) and

@@ -13,6 +13,7 @@ import time
 from repro.experiments import (
     ablation,
     conn_sweep,
+    doctor,
     faults,
     fig2_hops,
     fig3_relays,
@@ -22,6 +23,7 @@ from repro.experiments import (
     fig7_latency,
     fig8_ids,
     geo,
+    stabilize,
     table2,
 )
 from repro.experiments.common import ExperimentConfig
@@ -32,6 +34,7 @@ EXPERIMENTS = {
     "table2": table2,
     "ablation": ablation,
     "conn-sweep": conn_sweep,
+    "doctor": doctor,
     "faults": faults,
     "fig2": fig2_hops,
     "fig3": fig3_relays,
@@ -41,6 +44,7 @@ EXPERIMENTS = {
     "fig7": fig7_latency,
     "fig8": fig8_ids,
     "geo": geo,
+    "stabilize": stabilize,
 }
 
 
@@ -64,6 +68,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated subset, e.g. facebook,slashdot",
     )
     parser.add_argument(
+        "--systems",
+        default=None,
+        help="comma-separated subset, e.g. select,symphony",
+    )
+    parser.add_argument(
         "--export",
         default=None,
         metavar="DIR",
@@ -83,6 +92,8 @@ def config_from_args(args) -> ExperimentConfig:
         overrides["seed"] = args.seed
     if args.datasets:
         overrides["datasets"] = tuple(s.strip() for s in args.datasets.split(",") if s.strip())
+    if args.systems:
+        overrides["systems"] = tuple(s.strip() for s in args.systems.split(",") if s.strip())
     return config.with_(**overrides) if overrides else config
 
 

@@ -1,0 +1,235 @@
+"""Self-healing sweep: partition merge speed and catch-up availability.
+
+Beyond the paper's evaluation. A :class:`~repro.net.faults.RingPartition`
+cuts the identifier ring in half for its whole window; each side's
+stabilizer re-closes its own arc, so at heal time the overlay is two
+internally consistent rings. The sweep measures, per successor-list
+length ``r`` and per system (SELECT vs Symphony):
+
+* **heal rounds** — stabilization rounds after the cut ends until the
+  :mod:`~repro.overlay.doctor` sees one consistent ring again (capped;
+  a row at the cap did not converge);
+* **partition availability** — plain delivery ratio for notifications
+  published *during* the cut (cross-cut subscribers are unreachable);
+* **post-heal availability** — delivery ratio for the same publishers
+  once the ring has been given its healing rounds;
+* **total availability** — including the missed notifications that the
+  catch-up buffers handed over after the cut healed.
+
+SELECT's identifiers are socially clustered and its peers know their
+neighborhood through gossip, so boundary peers re-adopt their true
+cross-cut successors almost immediately; Symphony peers only have the
+``successor.predecessor`` walk and harmonic long links, which is the
+contrast this sweep quantifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.stabilize import CatchUpStore, Stabilizer
+from repro.experiments.common import (
+    ExperimentConfig,
+    build_system,
+    dataset_graph,
+    pretty,
+    trial_rngs,
+)
+from repro.metrics.healing import stabilize_until_healed
+from repro.net.faults import FaultPlan, PingService, RingPartition
+from repro.pubsub.api import PubSubSystem
+from repro.util.stats import summarize
+from repro.util.tables import format_table
+
+__all__ = ["run", "report", "R_VALUES", "PARTITION_END", "MAX_HEAL_ROUNDS"]
+
+#: successor-list lengths swept by default.
+R_VALUES = (1, 2, 3, 5)
+
+_SYSTEMS = ("select", "symphony")
+
+#: simulation time at which the injected partition heals.
+PARTITION_END = 600.0
+
+#: stabilization-round budget after the heal; a non-converged run reports
+#: this cap as its heal time.
+MAX_HEAL_ROUNDS = 12
+
+#: fraction of peers that crash right when the partition heals — the
+#: worst-case correlated failure the successor lists are for. With
+#: ``r = 1`` a peer whose successor crashed has no backup and must
+#: rediscover its arc from long links alone.
+CRASH_FRACTION = 0.10
+
+
+def _snapshot(overlay):
+    """Ring state of every table (the stabilizer mutates it in place)."""
+    return [
+        (t.predecessor, t.successor, list(t.successors)) for t in overlay.tables
+    ]
+
+
+def _restore(overlay, snapshot) -> None:
+    for table, (pred, succ, successors) in zip(overlay.tables, snapshot):
+        table.predecessor = pred
+        table.successor = succ
+        table.successors = list(successors)
+
+
+def _publish_all(pubsub, publishers, time: float, online=None) -> "tuple[int, int]":
+    """(subscribers wanted, subscribers reached) over one publish wave."""
+    wanted = 0
+    reached = 0
+    for publisher in publishers:
+        publisher = int(publisher)
+        if online is not None and not online[publisher]:
+            continue  # offline users do not post
+        result = pubsub.publish(publisher, online=online, time=time)
+        wanted += len(result.subscribers)
+        reached += len(result.delivered)
+    return wanted, reached
+
+
+def run(
+    config: ExperimentConfig,
+    r_values: "tuple[int, ...]" = R_VALUES,
+) -> list[dict]:
+    """Heal time and availability per dataset × system × successor-list r."""
+    rows = []
+    rngs = trial_rngs(config, "stabilize")
+    for dataset in config.datasets:
+        for system in _SYSTEMS:
+            if system not in config.systems:
+                continue
+            per_r: dict[int, dict[str, list]] = {
+                r: {
+                    "heal_rounds": [],
+                    "converged": [],
+                    "partition_avail": [],
+                    "post_heal_avail": [],
+                    "total_avail": [],
+                    "evictions": [],
+                }
+                for r in r_values
+            }
+            for trial in range(config.trials):
+                graph = dataset_graph(config, dataset, trial)
+                overlay = build_system(config, system, graph, trial)
+                baseline = _snapshot(overlay)
+                # Cut at the id median so the partition splits the
+                # population roughly in half.
+                median = float(np.median(overlay.ids))
+                cut = (median, (median + 0.5) % 1.0)
+                publishers = rngs[trial].choice(
+                    graph.num_nodes, size=min(config.publishers, graph.num_nodes),
+                    replace=False,
+                )
+                crashed = rngs[trial].choice(
+                    graph.num_nodes,
+                    size=int(CRASH_FRACTION * graph.num_nodes),
+                    replace=False,
+                )
+                for r in r_values:
+                    _restore(overlay, baseline)
+                    plan = FaultPlan(
+                        partitions=[RingPartition(cut=cut, start=0.0, end=PARTITION_END)],
+                        seed=config.seed + trial,
+                    )
+                    stabilizer = Stabilizer(overlay, PingService(plan), list_length=r)
+                    catchup = CatchUpStore(overlay, faults=plan)
+                    pubsub = PubSubSystem(overlay, faults=plan, catchup=catchup)
+                    # Phase 1 — the cut is active: each side stabilizes
+                    # itself, publishes lose their cross-cut subscribers
+                    # (the misses land in the catch-up buffers).
+                    online = np.ones(graph.num_nodes, dtype=bool)
+                    for _ in range(3):
+                        stabilizer.round(online, time=100.0)
+                    wanted_cut, reached_cut = _publish_all(pubsub, publishers, time=100.0)
+                    # Phase 2 — the cut heals and CRASH_FRACTION of the
+                    # peers crash at the same instant: merge the two rings
+                    # around the fresh holes.
+                    surviving = online.copy()
+                    surviving[crashed] = False
+                    healing = stabilize_until_healed(
+                        overlay,
+                        stabilizer,
+                        surviving,
+                        time=PARTITION_END + 10.0,
+                        max_rounds=MAX_HEAL_ROUNDS,
+                        catchup=catchup,
+                    )
+                    heal_rounds = healing.rounds_to_heal or MAX_HEAL_ROUNDS
+                    # Phase 3 — publish the same wave post-heal.
+                    wanted_post, reached_post = _publish_all(
+                        pubsub, publishers, time=PARTITION_END + 20.0, online=surviving
+                    )
+                    catchup.deliver(surviving, time=PARTITION_END + 20.0)
+                    # Phase 4 — the crashed peers return; the buffers hand
+                    # them everything they slept through.
+                    catchup.deliver(online, time=PARTITION_END + 120.0)
+                    wanted = wanted_cut + wanted_post
+                    got = reached_cut + reached_post + catchup.stats.recovered
+                    bucket = per_r[r]
+                    bucket["heal_rounds"].append(heal_rounds)
+                    bucket["converged"].append(1.0 if healing.converged else 0.0)
+                    bucket["partition_avail"].append(
+                        reached_cut / wanted_cut if wanted_cut else 1.0
+                    )
+                    bucket["post_heal_avail"].append(
+                        reached_post / wanted_post if wanted_post else 1.0
+                    )
+                    bucket["total_avail"].append(min(1.0, got / wanted) if wanted else 1.0)
+                    bucket["evictions"].append(catchup.stats.evictions)
+            for r in r_values:
+                bucket = per_r[r]
+                rows.append(
+                    {
+                        "dataset": dataset,
+                        "system": system,
+                        "r": r,
+                        "heal_rounds": summarize(bucket["heal_rounds"]).mean,
+                        "converged": summarize(bucket["converged"]).mean,
+                        "partition_availability": summarize(bucket["partition_avail"]).mean,
+                        "post_heal_availability": summarize(bucket["post_heal_avail"]).mean,
+                        "total_availability": summarize(bucket["total_avail"]).mean,
+                        "catchup_evictions": summarize(bucket["evictions"]).mean,
+                    }
+                )
+    return rows
+
+
+def report(
+    config: ExperimentConfig,
+    r_values: "tuple[int, ...]" = R_VALUES,
+) -> str:
+    """Render the self-healing sweep table."""
+    rows = run(config, r_values=r_values)
+    return format_table(
+        headers=[
+            "Dataset",
+            "System",
+            "r",
+            "Heal rounds",
+            "Avail (cut)",
+            "Avail (post-heal)",
+            "Avail (total)",
+            "Evictions",
+        ],
+        rows=[
+            (
+                r["dataset"],
+                pretty(r["system"]),
+                r["r"],
+                r["heal_rounds"],
+                r["partition_availability"],
+                r["post_heal_availability"],
+                r["total_availability"],
+                r["catchup_evictions"],
+            )
+            for r in rows
+        ],
+        title=(
+            "Self-healing sweep: ring-merge speed and catch-up availability "
+            f"(partition heals at t={PARTITION_END:.0f}, round cap {MAX_HEAL_ROUNDS})"
+        ),
+    )

@@ -7,7 +7,8 @@
 * latency (realistic experiments) — :mod:`repro.metrics.latency`
 
 plus the churn availability measurement for Figure 6 —
-:mod:`repro.metrics.availability`.
+:mod:`repro.metrics.availability` — and the partition heal-time
+measurement for the self-healing layer — :mod:`repro.metrics.healing`.
 """
 
 from repro.metrics.hops import sample_friend_pairs, social_lookup_hops
@@ -15,6 +16,7 @@ from repro.metrics.relays import publish_relays, RelayStats
 from repro.metrics.load import forward_counts, load_share_by_degree, load_gini
 from repro.metrics.latency import dissemination_latencies
 from repro.metrics.availability import churn_availability, AvailabilityPoint
+from repro.metrics.healing import stabilize_until_healed, HealingPoint, HealingReport
 
 __all__ = [
     "sample_friend_pairs",
@@ -27,4 +29,7 @@ __all__ = [
     "dissemination_latencies",
     "churn_availability",
     "AvailabilityPoint",
+    "stabilize_until_healed",
+    "HealingPoint",
+    "HealingReport",
 ]

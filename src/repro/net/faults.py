@@ -209,6 +209,17 @@ class FaultPlan:
         self.suspicion_threshold = int(suspicion_threshold)
         self.graceful_fraction = float(graceful_fraction)
         self.partitions = tuple(partitions)
+        # Overlapping windows would make "which side is peer X on?"
+        # ambiguous mid-simulation; refuse them up front. Touching
+        # windows (prev.end == next.start) are fine: windows are
+        # half-open, so no instant belongs to both.
+        by_start = sorted(self.partitions, key=lambda p: (p.start, p.end))
+        for prev, nxt in zip(by_start, by_start[1:]):
+            if nxt.start < prev.end:
+                raise PartitionError(
+                    "partition windows overlap: "
+                    f"[{prev.start}, {prev.end}) and [{nxt.start}, {nxt.end})"
+                )
         self.stats = FaultStats()
         self._rng = as_generator(seed)
         self._graceful: dict[int, bool] = {}
@@ -445,12 +456,18 @@ class PingService:
         return False, self.max_attempts, waited
 
     def check(self, observer: int, contact: int) -> bool:
-        """Perceived liveness of ``contact`` (no suspicion bookkeeping).
+        """Perceived liveness of ``contact`` (no suspicion *accrual*).
 
         Used for side-questions like "is this replacement candidate up?"
         where an occasional wrong answer self-corrects on later ticks.
+        A response does clear any accumulated suspicion: a confirmed-live
+        contact is no longer suspect, so a flapping link stops marching
+        toward eviction the moment it answers anything. An unresponsive
+        check never increments suspicion — only :meth:`probe` does.
         """
         responded, _, _ = self._exchange(contact)
+        if responded:
+            self._suspicion.pop((observer, contact), None)
         return responded
 
     def probe(self, observer: int, contact: int) -> PingResult:

@@ -27,7 +27,7 @@ class RoutingTable:
     :meth:`OverlayNetwork.try_accept_incoming`.
     """
 
-    __slots__ = ("owner", "predecessor", "successor", "long_links", "max_long")
+    __slots__ = ("owner", "predecessor", "successor", "successors", "long_links", "max_long")
 
     def __init__(self, owner: int, max_long: int):
         if max_long < 0:
@@ -35,6 +35,11 @@ class RoutingTable:
         self.owner = owner
         self.predecessor: int | None = None
         self.successor: int | None = None
+        #: ordered successor list (immediate successor first, then backups).
+        #: Maintenance/repair state only: the backups are *not* routing
+        #: links, so they are excluded from :meth:`all_links` and change
+        #: nothing on the default (fault-free) paths.
+        self.successors: list[int] = []
         self.long_links: set[int] = set()
         self.max_long = max_long
 

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.util.exceptions import ConfigurationError
 
-__all__ = ["ring_links", "successor_of", "predecessor_of"]
+__all__ = ["ring_links", "successor_lists", "successor_of", "predecessor_of"]
 
 
 def ring_links(ids: np.ndarray) -> list[tuple[int, int]]:
@@ -32,6 +32,28 @@ def ring_links(ids: np.ndarray) -> list[tuple[int, int]]:
         succ[node] = order[(pos + 1) % n]
         pred[node] = order[(pos - 1) % n]
     return [(int(pred[v]), int(succ[v])) for v in range(n)]
+
+
+def successor_lists(ids: np.ndarray, length: int) -> list[list[int]]:
+    """Per-peer list of the next ``length`` peers clockwise (self excluded).
+
+    The first entry of each list is the peer's immediate successor (same
+    tie-break as :func:`ring_links`); the rest are the backups a peer
+    falls to when its successor dies — the Chord/Symphony successor-list
+    mechanism the stabilization layer relies on to survive up to
+    ``length - 1`` simultaneous failures.
+    """
+    n = len(ids)
+    if n < 2:
+        raise ConfigurationError("a ring needs at least two peers")
+    if length < 1:
+        raise ConfigurationError(f"successor list length must be >= 1, got {length}")
+    order = np.lexsort((np.arange(n), ids))
+    depth = min(length, n - 1)
+    lists: list[list[int]] = [[] for _ in range(n)]
+    for pos, node in enumerate(order):
+        lists[int(node)] = [int(order[(pos + j) % n]) for j in range(1, depth + 1)]
+    return lists
 
 
 def successor_of(ids: np.ndarray, point: float) -> int:

@@ -37,6 +37,9 @@ class DisseminationResult:
     retries: int = 0
     #: subscribers lost to link faults (retry budget exhausted / partition).
     dropped: int = 0
+    #: missed subscribers whose notification was parked in a catch-up
+    #: buffer for later anti-entropy delivery (0 without a store).
+    buffered: int = 0
 
     @property
     def delivered(self) -> list[int]:
@@ -86,12 +89,17 @@ class PubSubSystem:
         interest: "InterestFn | None" = None,
         lookahead: "bool | None" = None,
         faults: "FaultPlan | None" = None,
+        catchup=None,
     ):
         self.overlay = overlay
         self.graph = overlay.graph
         self.interest = interest
         self.router = overlay.make_router(lookahead=lookahead)
         self.faults = faults
+        #: optional :class:`~repro.core.stabilize.CatchUpStore`; when set,
+        #: missed subscribers get their notification buffered for later
+        #: anti-entropy delivery instead of being dropped outright.
+        self.catchup = catchup
 
     def subscribers_of(self, publisher: int) -> list[int]:
         """``S_b``: the publisher's interested social friends."""
@@ -113,9 +121,10 @@ class PubSubSystem:
         """
         if not (0 <= publisher < self.graph.num_nodes):
             raise ConfigurationError(f"publisher {publisher} out of range")
-        subscribers = self.subscribers_of(publisher)
+        interested = self.subscribers_of(publisher)
+        subscribers = interested
         if online is not None:
-            subscribers = [s for s in subscribers if online[s]]
+            subscribers = [s for s in interested if online[s]]
         tree = RoutingTree(publisher)
         # Each overlay defines its own dissemination shape (unicast DHT,
         # rendezvous tree, topic-connected overlay, ...).
@@ -126,6 +135,11 @@ class PubSubSystem:
         dropped = 0
         if self.faults is not None and not self.faults.is_null:
             routes, retries, dropped = self._inject_link_faults(routes, time)
+        buffered = 0
+        if self.catchup is not None:
+            buffered = self._deposit_missed(
+                publisher, interested, subscribers, routes, online, time
+            )
         # Merge paths near-first so farther paths reuse tree prefixes
         # (message deduplication).
         for s in sorted(routes, key=lambda s: (len(routes[s].path), s)):
@@ -139,7 +153,33 @@ class PubSubSystem:
             routes=routes,
             retries=retries,
             dropped=dropped,
+            buffered=buffered,
         )
+
+    def _deposit_missed(
+        self, publisher, interested, subscribers, routes, online, time
+    ) -> int:
+        """Park every missed notification in the catch-up store.
+
+        Two classes of miss: an *online* subscriber the dissemination
+        failed to reach (counts against availability — ``counted=True``)
+        and an interested friend that was simply offline at publish time
+        (the availability metric never counted it; catch-up still delivers
+        it once the friend returns — ``counted=False``).
+        """
+        seq = self.catchup.new_notification()
+        buffered = 0
+        for s in subscribers:
+            if not routes[s].delivered:
+                self.catchup.deposit(seq, publisher, s, True, online, time)
+                buffered += 1
+        if online is not None:
+            reached = set(subscribers)
+            for s in interested:
+                if s not in reached:
+                    self.catchup.deposit(seq, publisher, s, False, online, time)
+                    buffered += 1
+        return buffered
 
     def _inject_link_faults(
         self, routes: dict[int, RouteResult], time: float

@@ -9,6 +9,7 @@ import pytest
 from repro.experiments import (
     ablation,
     conn_sweep,
+    doctor,
     fig2_hops,
     fig3_relays,
     fig4_load,
@@ -16,6 +17,7 @@ from repro.experiments import (
     fig6_churn,
     fig7_latency,
     fig8_ids,
+    stabilize,
     table2,
 )
 from repro.experiments.cli import EXPERIMENTS, build_parser, config_from_args, main
@@ -180,11 +182,48 @@ class TestConnSweep:
         assert 8 in values
 
 
+class TestStabilize:
+    def test_select_meets_acceptance_criteria(self):
+        rows = stabilize.run(MICRO, r_values=(3,))
+        by = {(r["system"], r["r"]): r for r in rows}
+        select = by[("select", 3)]
+        # Acceptance: with r >= 3 the ring re-merges within <= 10 rounds of
+        # the cut healing and post-heal availability (with catch-up) > 99%.
+        assert select["converged"] == 1.0
+        assert select["heal_rounds"] <= 10
+        assert select["post_heal_availability"] > 0.99
+        assert select["total_availability"] > 0.99
+
+    def test_select_heals_no_slower_than_symphony(self):
+        rows = stabilize.run(MICRO, r_values=(3,))
+        by = {r["system"]: r["heal_rounds"] for r in rows}
+        assert by["select"] <= by["symphony"]
+
+    def test_report_renders(self):
+        out = stabilize.report(MICRO, r_values=(1, 3))
+        assert "Self-healing sweep" in out and "SELECT" in out
+
+
+class TestDoctor:
+    def test_built_overlays_are_healthy(self):
+        rows = doctor.run(MICRO)
+        assert {r["system"] for r in rows} == {"select", "symphony"}
+        for r in rows:
+            assert r["ok"], r
+            assert r["ring_cycles"] == 1
+            assert r["largest_cycle"] == r["peers"]
+
+    def test_report_renders(self):
+        out = doctor.report(MICRO)
+        assert "doctor" in out.lower()
+        assert "all overlays healthy" in out
+
+
 class TestCli:
     def test_all_experiments_registered(self):
         assert set(EXPERIMENTS) == {
-            "table2", "ablation", "conn-sweep", "faults", "geo", "fig2", "fig3",
-            "fig4", "fig5", "fig6", "fig7", "fig8",
+            "table2", "ablation", "conn-sweep", "doctor", "faults", "geo",
+            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "stabilize",
         }
 
     def test_parser_overrides(self):

@@ -64,6 +64,33 @@ class TestFaultPlan:
         with pytest.raises(ConfigurationError):
             FaultPlan(link_loss={(0, 1): 2.0})
 
+    def test_overlapping_partition_windows_rejected(self):
+        with pytest.raises(PartitionError):
+            FaultPlan(
+                partitions=[
+                    RingPartition(cut=(0.0, 0.5), start=0.0, end=200.0),
+                    RingPartition(cut=(0.25, 0.75), start=100.0, end=300.0),
+                ]
+            )
+        # A window entirely inside another is also an overlap.
+        with pytest.raises(PartitionError):
+            FaultPlan(
+                partitions=[
+                    RingPartition(cut=(0.0, 0.5), start=0.0, end=500.0),
+                    RingPartition(cut=(0.25, 0.75), start=100.0, end=200.0),
+                ]
+            )
+
+    def test_touching_partition_windows_allowed(self):
+        # Half-open windows: end == next start shares no instant.
+        plan = FaultPlan(
+            partitions=[
+                RingPartition(cut=(0.0, 0.5), start=0.0, end=100.0),
+                RingPartition(cut=(0.25, 0.75), start=100.0, end=200.0),
+            ]
+        )
+        assert len(plan.partitions) == 2
+
     def test_none_is_null(self):
         plan = FaultPlan.none()
         assert plan.is_null
@@ -237,6 +264,20 @@ class TestPingService:
         service = PingService(plan)
         service.set_ground_truth(self._online(down=[1]))
         assert not service.check(0, 1)
+        assert service.suspicion(0, 1) == 0
+
+    def test_check_response_clears_suspicion(self):
+        # A flapping contact accrues suspicion through probes; any later
+        # confirmed-live answer (even via a side-question check) resets it,
+        # so the contact does not stay one bad sample from eviction.
+        plan = FaultPlan(ping_false_negative=0.01, suspicion_threshold=3, seed=18)
+        service = PingService(plan)
+        service.set_ground_truth(self._online(down=[1]))
+        service.probe(0, 1)
+        service.probe(0, 1)
+        assert service.suspicion(0, 1) == 2
+        service.set_ground_truth(self._online())  # contact comes back
+        assert service.check(0, 1)
         assert service.suspicion(0, 1) == 0
 
     def test_forget_clears_suspicion(self):
