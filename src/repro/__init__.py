@@ -22,6 +22,9 @@ Packages:
   (datasets, network models, simulation engine).
 * :mod:`repro.metrics`, :mod:`repro.experiments` — the paper's
   measurements and the per-figure harness.
+* :mod:`repro.telemetry` — metrics registry, per-message route tracing,
+  Prometheus/JSON exporters and run reports (opt-in; the default
+  :class:`~repro.telemetry.NullRegistry` is zero-overhead).
 """
 
 from repro.core.config import SelectConfig
@@ -35,6 +38,15 @@ from repro.graphs.graph import SocialGraph
 from repro.net.faults import FaultPlan, PingService, RingPartition
 from repro.pubsub.api import PubSubSystem
 from repro.experiments.common import ExperimentConfig
+from repro.telemetry import (
+    MetricsRegistry,
+    NullRegistry,
+    RouteTracer,
+    set_registry,
+    set_tracer,
+    use_registry,
+    use_tracer,
+)
 from repro.util.exceptions import FaultInjectionError, PartitionError
 
 __version__ = "1.0.0"
@@ -59,5 +71,12 @@ __all__ = [
     "RingPartition",
     "FaultInjectionError",
     "PartitionError",
+    "MetricsRegistry",
+    "NullRegistry",
+    "RouteTracer",
+    "set_registry",
+    "set_tracer",
+    "use_registry",
+    "use_tracer",
     "__version__",
 ]

@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.select import SelectOverlay
 from repro.net.faults import PingService
 from repro.overlay.ring import ring_links
+from repro.telemetry.registry import get_registry
 from repro.util.bitset import hamming_distance
 
 __all__ = ["RecoveryManager"]
@@ -39,6 +40,7 @@ class RecoveryManager:
         overlay: SelectOverlay,
         ping_service: "PingService | None" = None,
         stabilizer=None,
+        registry=None,
     ):
         self.overlay = overlay
         self.pings = ping_service if ping_service is not None else PingService()
@@ -61,9 +63,30 @@ class RecoveryManager:
         #: evictions cancelled by the last-chance confirmation probe (the
         #: contact answered just before being replaced).
         self.reprieves = 0
+        registry = registry if registry is not None else get_registry()
+        self._tick_timer = registry.timer("recovery.tick")
+        self._m_replacements = registry.counter(
+            "recovery.replacements", "dead long links swapped for live candidates"
+        )
+        self._m_kept = registry.counter(
+            "recovery.kept_unresponsive", "unresponsive contacts kept (high CMA / suspicion)"
+        )
+        self._m_false_evictions = registry.counter(
+            "recovery.false_evictions", "evicted contacts that were actually online"
+        )
+        self._m_failed = registry.counter(
+            "recovery.failed_replacements", "replacement attempts without a usable candidate"
+        )
+        self._m_reprieves = registry.counter(
+            "recovery.reprieves", "evictions cancelled by the last-chance probe"
+        )
 
     def tick(self, online: np.ndarray, time: "float | None" = None) -> None:
         """One maintenance period: probe contacts, repair links and ring."""
+        with self._tick_timer:
+            self._tick(online, time)
+
+    def _tick(self, online: np.ndarray, time: "float | None") -> None:
         if time is not None:
             self.now = float(time)
         self.pings.set_ground_truth(online)
@@ -81,6 +104,7 @@ class RecoveryManager:
                     # Under suspicion but not yet confirmed: never act on a
                     # single noisy sample.
                     self.kept_unresponsive += 1
+                    self._m_kept.inc()
                     continue
                 if peer.behavior.should_replace(contact):
                     self._replace(v, contact)
@@ -88,6 +112,7 @@ class RecoveryManager:
                     # Temporary failure: keep the link (avoids reassignment
                     # chains at the peers connected to us).
                     self.kept_unresponsive += 1
+                    self._m_kept.inc()
         if self.stabilizer is not None and not self.pings.faults.is_null:
             self.stabilizer.round(online, time=self.now)
         else:
@@ -111,21 +136,26 @@ class RecoveryManager:
             # keep it (the response also cleared its suspicion counter).
             self.reprieves += 1
             self.kept_unresponsive += 1
+            self._m_reprieves.inc()
+            self._m_kept.inc()
             return
         candidate = self._same_bucket_candidate(peer, v, dead)
         if candidate is None:
             candidate = self._most_similar_candidate(peer, v, dead)
         if candidate is None or not ov._try_connect_recovery(v, candidate):
             self.failed_replacements += 1
+            self._m_failed.inc()
             return
         if self.pings.truth(dead):
             self.false_evictions += 1
+            self._m_false_evictions.inc()
         peer.table.long_links.discard(dead)
         ov._disconnect(v, dead)
         peer.forget_peer(dead)
         self.pings.forget(v, dead)
         peer.table.long_links.add(candidate)
         self.replacements += 1
+        self._m_replacements.inc()
 
     def _same_bucket_candidate(self, peer, v: int, dead: int) -> "int | None":
         """A live, unlinked known friend sharing the dead peer's LSH bucket."""

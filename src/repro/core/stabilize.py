@@ -47,6 +47,7 @@ from repro.core.links import closer_successor
 from repro.net.faults import FaultPlan, PingService
 from repro.overlay.base import OverlayNetwork
 from repro.overlay.ring import successor_lists
+from repro.telemetry.registry import get_registry
 from repro.util.exceptions import ConfigurationError
 
 __all__ = ["StabilizeStats", "Stabilizer", "CatchUpStats", "CatchUpStore"]
@@ -106,6 +107,7 @@ class Stabilizer:
         overlay: OverlayNetwork,
         ping_service: "PingService | None" = None,
         list_length: "int | None" = None,
+        registry=None,
     ):
         overlay._check_built()
         self.overlay = overlay
@@ -117,6 +119,21 @@ class Stabilizer:
             raise ConfigurationError(f"list_length must be >= 1, got {list_length}")
         self.list_length = int(list_length)
         self.stats = StabilizeStats()
+        registry = registry if registry is not None else get_registry()
+        self._round_timer = registry.timer("stabilize.round")
+        self._m_rounds = registry.counter("stabilize.rounds", "stabilization rounds run")
+        self._m_promotions = registry.counter(
+            "stabilize.promotions", "successor pointers promoted from the backup list"
+        )
+        self._m_rectifications = registry.counter(
+            "stabilize.rectifications", "successor pointers tightened to a closer peer"
+        )
+        self._m_notifies = registry.counter(
+            "stabilize.notifies", "predecessor pointers fixed via notify"
+        )
+        self._m_isolated = registry.counter(
+            "stabilize.isolated", "peers that found no live successor in a round"
+        )
         self.seed_lists()
 
     def seed_lists(self) -> None:
@@ -160,7 +177,13 @@ class Stabilizer:
         live = [int(v) for v in order if online[v]]
         if len(live) < 2:
             return
+        with self._round_timer:
+            self._run_round(live, ids, pings, faults, check_partition, time)
+
+    def _run_round(self, live, ids, pings, faults, check_partition, time) -> None:
+        ov = self.overlay
         self.stats.rounds += 1
+        self._m_rounds.inc()
         perceived: dict[int, bool] = {}
 
         def reachable(observer: int, contact: int) -> bool:
@@ -181,9 +204,11 @@ class Stabilizer:
             succ = self._first_live_successor(v, table, reachable)
             if succ is None:
                 self.stats.isolated += 1
+                self._m_isolated.inc()
                 continue
             if succ != table.successor:
                 self.stats.promotions += 1
+                self._m_promotions.inc()
                 table.successor = succ
             succ = self._rectify(v, succ, table, peers, reachable)
             self._notify(v, succ, reachable)
@@ -239,6 +264,7 @@ class Stabilizer:
         if better is None:
             return succ
         self.stats.rectifications += 1
+        self._m_rectifications.inc()
         table.successor = better
         return better
 
@@ -257,6 +283,7 @@ class Stabilizer:
         ):
             succ_table.predecessor = v
             self.stats.notifies += 1
+            self._m_notifies.inc()
 
     def _refresh_list(self, v: int, succ: int, table) -> None:
         """Wholesale list copy through the successor (textbook Chord)."""
@@ -315,6 +342,7 @@ class CatchUpStore:
         overlay: OverlayNetwork,
         capacity: "int | None" = None,
         faults: "FaultPlan | None" = None,
+        registry=None,
     ):
         overlay._check_built()
         self.overlay = overlay
@@ -331,6 +359,26 @@ class CatchUpStore:
         self._seen: dict[int, set[int]] = {}
         self._next_seq = 0
         self.stats = CatchUpStats()
+        registry = registry if registry is not None else get_registry()
+        self._deliver_timer = registry.timer("catchup.deliver")
+        self._m_deposited = registry.counter(
+            "catchup.deposited", "missed notifications handed to the store"
+        )
+        self._m_evictions = registry.counter(
+            "catchup.evictions", "buffer entries lost to overflow"
+        )
+        self._m_delivered = registry.counter(
+            "catchup.delivered", "buffer entries handed over in digests"
+        )
+        self._m_recovered = registry.counter(
+            "catchup.recovered", "counted notifications recovered by catch-up"
+        )
+        self._m_duplicates = registry.counter(
+            "catchup.duplicates", "digest deliveries suppressed as duplicates"
+        )
+        self._g_pending = registry.gauge(
+            "catchup.pending", "entries currently buffered across all holders"
+        )
 
     def new_notification(self) -> int:
         """Sequence number identifying one publish event's notification."""
@@ -392,7 +440,10 @@ class CatchUpStore:
             if len(buf) > self.capacity:
                 buf.popleft()
                 self.stats.evictions += 1
+                self._m_evictions.inc()
         self.stats.deposited += 1
+        self._m_deposited.inc()
+        self._g_pending.set(self.pending())
 
     def deliver(self, online: "np.ndarray | None" = None, time: float = 0.0) -> int:
         """One anti-entropy pass: hand buffered entries to reachable subscribers.
@@ -404,26 +455,31 @@ class CatchUpStore:
         loss only delays a handover, it cannot lose the buffered copy.
         """
         recovered_now = 0
-        for holder in sorted(self.buffers):
-            if online is not None and not online[holder]:
-                continue
-            buf = self.buffers[holder]
-            if not buf:
-                continue
-            keep: deque = deque()
-            for seq, subscriber, counted in buf:
-                sub_alive = online is None or bool(online[subscriber])
-                if not sub_alive or not self._link_open(holder, subscriber, time):
-                    keep.append((seq, subscriber, counted))
+        with self._deliver_timer:
+            for holder in sorted(self.buffers):
+                if online is not None and not online[holder]:
                     continue
-                self.stats.delivered += 1
-                seen = self._seen.setdefault(subscriber, set())
-                if seq in seen:
-                    self.stats.duplicates += 1
+                buf = self.buffers[holder]
+                if not buf:
                     continue
-                seen.add(seq)
-                if counted:
-                    self.stats.recovered += 1
-                    recovered_now += 1
-            self.buffers[holder] = keep
+                keep: deque = deque()
+                for seq, subscriber, counted in buf:
+                    sub_alive = online is None or bool(online[subscriber])
+                    if not sub_alive or not self._link_open(holder, subscriber, time):
+                        keep.append((seq, subscriber, counted))
+                        continue
+                    self.stats.delivered += 1
+                    self._m_delivered.inc()
+                    seen = self._seen.setdefault(subscriber, set())
+                    if seq in seen:
+                        self.stats.duplicates += 1
+                        self._m_duplicates.inc()
+                        continue
+                    seen.add(seq)
+                    if counted:
+                        self.stats.recovered += 1
+                        self._m_recovered.inc()
+                        recovered_now += 1
+                self.buffers[holder] = keep
+            self._g_pending.set(self.pending())
         return recovered_now

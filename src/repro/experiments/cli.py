@@ -1,14 +1,16 @@
 """Command-line harness: ``select-repro <experiment> [--preset quick]``.
 
 Regenerates any of the paper's tables/figures as text reports. ``all``
-runs every experiment in paper order.
+runs every experiment in paper order. ``--telemetry DIR`` installs a
+process-wide metrics registry and route tracer for the run and writes
+``metrics.prom`` / ``report.json`` / ``traces.jsonl`` into ``DIR``;
+``select-repro report DIR`` renders that directory back as text.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.experiments import (
     ablation,
@@ -27,6 +29,8 @@ from repro.experiments import (
     table2,
 )
 from repro.experiments.common import ExperimentConfig
+from repro.telemetry.registry import MetricsRegistry, set_registry
+from repro.telemetry.tracer import RouteTracer, set_tracer
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -49,14 +53,26 @@ EXPERIMENTS = {
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="select-repro",
         description="Regenerate the SELECT paper's tables and figures.",
     )
     parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which artifact to regenerate",
+        choices=sorted(EXPERIMENTS) + ["all", "report"],
+        help="which artifact to regenerate, or 'report' to render a telemetry dir",
+    )
+    parser.add_argument(
+        "dir",
+        nargs="?",
+        default=None,
+        metavar="DIR",
+        help="telemetry directory (only with the 'report' subcommand)",
     )
     parser.add_argument("--preset", default="quick", choices=["quick", "default", "full"])
     parser.add_argument("--num-nodes", type=int, default=None, help="override graph size")
@@ -78,6 +94,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also write the raw rows as CSV into this directory",
     )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="DIR",
+        help="collect metrics + per-message route traces and write them into DIR",
+    )
     return parser
 
 
@@ -97,20 +119,57 @@ def config_from_args(args) -> ExperimentConfig:
     return config.with_(**overrides) if overrides else config
 
 
+def _run_report(args) -> int:
+    from repro.telemetry.report import render_report
+
+    if not args.dir:
+        print("usage: select-repro report TELEMETRY_DIR", file=sys.stderr)
+        return 2
+    print(render_report(args.dir))
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.experiment == "report":
+        return _run_report(args)
     config = config_from_args(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        module = EXPERIMENTS[name]
-        start = time.time()
-        print(module.report(config))
-        if args.export:
-            from repro.experiments.export import export_experiment
+    # The CLI always times phases through a real registry (perf_counter
+    # underneath); only --telemetry installs it process-wide so the
+    # instrumented layers start feeding it too.
+    registry = MetricsRegistry()
+    tracer = RouteTracer() if args.telemetry else None
+    prev_registry = set_registry(registry) if args.telemetry else None
+    prev_tracer = set_tracer(tracer) if args.telemetry else None
+    try:
+        for name in names:
+            module = EXPERIMENTS[name]
+            with registry.timer(f"experiment.{name}") as timing:
+                print(module.report(config))
+            if args.export:
+                from repro.experiments.export import export_experiment
 
-            path = export_experiment(name, module, config, args.export)
-            print(f"[rows exported to {path}]", file=sys.stderr)
-        print(f"[{name}: {time.time() - start:.1f}s]\n", file=sys.stderr)
+                path = export_experiment(name, module, config, args.export)
+                print(f"[rows exported to {path}]", file=sys.stderr)
+            print(f"[{name}: {timing.elapsed:.1f}s]\n", file=sys.stderr)
+        if args.telemetry:
+            from repro.telemetry.export import write_telemetry
+
+            meta = {
+                "experiments": ",".join(names),
+                "preset": args.preset,
+                "seed": config.seed,
+                "num_nodes": config.num_nodes,
+                "trials": config.trials,
+            }
+            paths = write_telemetry(args.telemetry, registry, tracer=tracer, meta=meta)
+            print(f"[telemetry written to {args.telemetry}: "
+                  f"{', '.join(sorted(paths))}]", file=sys.stderr)
+    finally:
+        if args.telemetry:
+            set_registry(prev_registry)
+            set_tracer(prev_tracer)
     return 0
 
 

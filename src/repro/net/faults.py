@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.telemetry.registry import get_registry
 from repro.util.exceptions import ConfigurationError, FaultInjectionError, PartitionError
 from repro.util.rng import as_generator
 
@@ -178,6 +179,7 @@ class FaultPlan:
         graceful_fraction: float = 0.0,
         partitions: "tuple[RingPartition, ...] | list[RingPartition]" = (),
         seed=None,
+        registry=None,
     ):
         for name, p in (
             ("loss_rate", loss_rate),
@@ -223,6 +225,28 @@ class FaultPlan:
         self.stats = FaultStats()
         self._rng = as_generator(seed)
         self._graceful: dict[int, bool] = {}
+        # Registry mirrors of the FaultStats counters (no-ops under the
+        # default NullRegistry; live counters when telemetry is installed).
+        registry = registry if registry is not None else get_registry()
+        self._m_messages = registry.counter("faults.messages", "end-to-end deliveries attempted")
+        self._m_drops = registry.counter("faults.drops", "deliveries abandoned")
+        self._m_retransmissions = registry.counter(
+            "faults.retransmissions", "hop transmissions lost and retried"
+        )
+        self._m_partition_blocks = registry.counter(
+            "faults.partition_blocks", "transmissions refused across a partition"
+        )
+        self._m_pings = registry.counter("faults.pings", "liveness probe attempts")
+        self._m_ping_retries = registry.counter("faults.ping_retries", "probe backoff retries")
+        self._m_ping_false_negatives = registry.counter(
+            "faults.ping_false_negatives", "live contacts that looked down"
+        )
+        self._m_ping_false_positives = registry.counter(
+            "faults.ping_false_positives", "dead contacts that looked up"
+        )
+        self._m_ping_wait_ms = registry.counter(
+            "faults.ping_wait_ms", "virtual milliseconds spent on probe timeouts"
+        )
 
     @classmethod
     def none(cls) -> "FaultPlan":
@@ -276,6 +300,7 @@ class FaultPlan:
             if attempt < self.retry_budget:
                 retries += 1
                 self.stats.retransmissions += 1
+                self._m_retransmissions.inc()
         return False, retries
 
     def transmit(
@@ -284,6 +309,7 @@ class FaultPlan:
         """One hop ``u -> v`` with retransmissions; ``(delivered, retries)``."""
         if self.partition_blocks_link(id_u, id_v, time):
             self.stats.partition_blocks += 1
+            self._m_partition_blocks.inc()
             return False, 0
         return self._transmit_hop(u, v)
 
@@ -303,6 +329,7 @@ class FaultPlan:
         every path of one publish event.
         """
         self.stats.messages += 1
+        self._m_messages.inc()
         if self.partitions and ids is None:
             raise FaultInjectionError("transmit_path needs peer ids when partitions are set")
         retries = 0
@@ -317,6 +344,7 @@ class FaultPlan:
                 blocked = self.partition_blocks_link(id_u, id_v, time)
                 if blocked:
                     self.stats.partition_blocks += 1
+                    self._m_partition_blocks.inc()
                     ok, r = False, 0
                 else:
                     ok, r = self._transmit_hop(u, v)
@@ -325,6 +353,7 @@ class FaultPlan:
             retries += r
             if not ok:
                 self.stats.drops += 1
+                self._m_drops.inc()
                 return PathOutcome(False, retries, lost_at=i + 1, partition_blocked=blocked)
         return PathOutcome(True, retries)
 
@@ -430,28 +459,35 @@ class PingService:
         stats = faults.stats
         if faults.is_null:
             stats.pings += 1
+            faults._m_pings.inc()
             return truth, 1, 0.0 if truth else self.base_timeout_ms
         if not truth and faults.departs_gracefully(contact):
             # Graceful departure: the contact said goodbye; no probing noise.
             stats.pings += 1
+            faults._m_pings.inc()
             return False, 1, 0.0
         timeout = self.base_timeout_ms
         waited = 0.0
         for attempt in range(1, self.max_attempts + 1):
             stats.pings += 1
+            faults._m_pings.inc()
             if attempt > 1:
                 stats.ping_retries += 1
+                faults._m_ping_retries.inc()
             if truth:
                 if not faults.ping_drops_response():
                     return True, attempt, waited
                 stats.ping_false_negatives += 1
+                faults._m_ping_false_negatives.inc()
             else:
                 if faults.ping_fakes_response():
                     stats.ping_false_positives += 1
+                    faults._m_ping_false_positives.inc()
                     return True, attempt, waited
             # Timed out: wait, back off, retry.
             waited += timeout
             stats.ping_wait_ms += timeout
+            faults._m_ping_wait_ms.inc(timeout)
             timeout *= self.backoff
         return False, self.max_attempts, waited
 

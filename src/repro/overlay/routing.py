@@ -21,7 +21,36 @@ import numpy as np
 from repro.idspace.space import ring_distance
 from repro.util.exceptions import RoutingError
 
-__all__ = ["RouteResult", "GreedyRouter"]
+__all__ = ["HopDecision", "RouteResult", "GreedyRouter"]
+
+
+@dataclass(frozen=True)
+class HopDecision:
+    """One recorded routing decision (telemetry only, see RouteTracer).
+
+    ``link`` classifies the chosen edge on the sender's table: ``short``
+    (successor/predecessor ring link), ``long`` (LSH-selected long
+    link), ``successor`` (successor-list backup — only routable after a
+    stabilizer promotion), or ``other``. ``rule`` is which clause of the
+    greedy router fired: ``direct``, ``lookahead``, or ``greedy``.
+    ``ring_distance`` is the remaining distance from the chosen next hop
+    to the target identifier.
+    """
+
+    src: int
+    dst: int
+    link: str
+    rule: str
+    ring_distance: float
+
+    def as_dict(self) -> dict:
+        return {
+            "from": self.src,
+            "to": self.dst,
+            "link": self.link,
+            "rule": self.rule,
+            "ring_distance": self.ring_distance,
+        }
 
 
 @dataclass(frozen=True)
@@ -30,6 +59,9 @@ class RouteResult:
 
     path: list[int]  # nodes visited, src first; dst last iff delivered
     delivered: bool
+    #: per-hop decision records; populated only when the router was asked
+    #: to trace (``record_decisions``), None on the default fast path.
+    decisions: "tuple[HopDecision, ...] | None" = None
 
     @property
     def hops(self) -> int:
@@ -47,6 +79,10 @@ class GreedyRouter:
         # Generous guard: greedy ring routing is O(n) worst case on a bare
         # ring, so cap at n + slack rather than the O(log n) expectation.
         self.max_hops = int(max_hops) if max_hops is not None else n + 16
+        #: when True, every hop's decision (link type, rule, remaining ring
+        #: distance) is recorded on the RouteResult for the route tracer.
+        #: Off by default: the fast path pays only this flag check.
+        self.record_decisions = False
 
     def route(
         self,
@@ -73,26 +109,62 @@ class GreedyRouter:
         visited = {src}
         current = src
         filter_links = online is not None and detect_failures
+        decisions: "list[HopDecision] | None" = [] if self.record_decisions else None
         for _ in range(self.max_hops):
             links = self._live_links(current, online if filter_links else None)
             if dst in links:
                 path.append(dst)
+                if decisions is not None:
+                    decisions.append(self._decision(current, dst, "direct", target_id, ids))
+                    return RouteResult(path=path, delivered=True, decisions=tuple(decisions))
                 return RouteResult(path=path, delivered=True)
             nxt = None
+            rule = "greedy"
             if self.lookahead:
                 nxt = self._lookahead_hop(links, dst, online if filter_links else None, visited)
+                if nxt is not None:
+                    rule = "lookahead"
             if nxt is None:
                 nxt = self._greedy_hop(links, target_id, visited, ids)
             if nxt is None:
+                if decisions is not None:
+                    return RouteResult(path=path, delivered=False, decisions=tuple(decisions))
                 return RouteResult(path=path, delivered=False)
+            if decisions is not None:
+                decisions.append(self._decision(current, nxt, rule, target_id, ids))
             if online is not None and not detect_failures and not online[nxt]:
                 # Blind forward onto an offline peer: message lost.
                 path.append(nxt)
+                if decisions is not None:
+                    return RouteResult(path=path, delivered=False, decisions=tuple(decisions))
                 return RouteResult(path=path, delivered=False)
             path.append(nxt)
             visited.add(nxt)
             current = nxt
+        if decisions is not None:
+            return RouteResult(path=path, delivered=False, decisions=tuple(decisions))
         return RouteResult(path=path, delivered=False)
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _decision(self, u: int, w: int, rule: str, target_id, ids) -> HopDecision:
+        """Classify the chosen ``u -> w`` hop for the route tracer."""
+        table = self.overlay.tables[u]
+        if w == table.successor or w == table.predecessor:
+            link = "short"
+        elif w in table.long_links:
+            link = "long"
+        elif w in table.successors:
+            link = "successor"
+        else:
+            link = "other"
+        return HopDecision(
+            src=u,
+            dst=w,
+            link=link,
+            rule=rule,
+            ring_distance=float(ring_distance(float(ids[w]), float(target_id))),
+        )
 
     # -- hop selection -------------------------------------------------------
 

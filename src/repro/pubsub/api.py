@@ -18,6 +18,8 @@ from repro.net.faults import FaultPlan
 from repro.overlay.base import OverlayNetwork
 from repro.overlay.routing import RouteResult
 from repro.pubsub.tree import RoutingTree
+from repro.telemetry.registry import HOP_BUCKETS, get_registry
+from repro.telemetry.tracer import get_tracer
 from repro.util.exceptions import ConfigurationError
 
 __all__ = ["DisseminationResult", "PubSubSystem"]
@@ -90,6 +92,8 @@ class PubSubSystem:
         lookahead: "bool | None" = None,
         faults: "FaultPlan | None" = None,
         catchup=None,
+        registry=None,
+        tracer=None,
     ):
         self.overlay = overlay
         self.graph = overlay.graph
@@ -100,6 +104,35 @@ class PubSubSystem:
         #: missed subscribers get their notification buffered for later
         #: anti-entropy delivery instead of being dropped outright.
         self.catchup = catchup
+        #: metrics registry (process-wide current unless injected); the
+        #: default NullRegistry makes every update below a no-op.
+        self.registry = registry if registry is not None else get_registry()
+        #: optional route tracer; per-hop decision recording on the router
+        #: is only switched on when a tracer is actually listening.
+        self.tracer = tracer if tracer is not None else get_tracer()
+        if self.tracer is not None and hasattr(self.router, "record_decisions"):
+            self.router.record_decisions = True
+        self._publishes = self.registry.counter(
+            "publish.events", "publish events disseminated"
+        )
+        self._delivered = self.registry.counter(
+            "publish.delivered", "subscriber deliveries that succeeded"
+        )
+        self._dropped = self.registry.counter(
+            "publish.dropped", "subscriber deliveries lost to link faults"
+        )
+        self._buffered = self.registry.counter(
+            "publish.buffered", "missed notifications parked for catch-up"
+        )
+        self._retries = self.registry.counter(
+            "publish.retries", "retransmissions spent on lossy links"
+        )
+        self._hops = self.registry.histogram(
+            "publish.hops", HOP_BUCKETS, "per-path hop counts of delivered routes"
+        )
+        self._fanout = self.registry.histogram(
+            "publish.fanout", help="subscribers per publish event"
+        )
 
     def subscribers_of(self, publisher: int) -> list[int]:
         """``S_b``: the publisher's interested social friends."""
@@ -133,8 +166,9 @@ class PubSubSystem:
         )
         retries = 0
         dropped = 0
+        fault_notes: "dict[int, dict] | None" = {} if self.tracer is not None else None
         if self.faults is not None and not self.faults.is_null:
-            routes, retries, dropped = self._inject_link_faults(routes, time)
+            routes, retries, dropped = self._inject_link_faults(routes, time, fault_notes)
         buffered = 0
         if self.catchup is not None:
             buffered = self._deposit_missed(
@@ -146,7 +180,7 @@ class PubSubSystem:
             result = routes[s]
             if result.delivered:
                 tree.add_path(result.path)
-        return DisseminationResult(
+        out = DisseminationResult(
             publisher=publisher,
             subscribers=subscribers,
             tree=tree,
@@ -154,6 +188,58 @@ class PubSubSystem:
             retries=retries,
             dropped=dropped,
             buffered=buffered,
+        )
+        self._observe_publish(out)
+        if self.tracer is not None:
+            self._trace_publish(out, time, fault_notes or {})
+        return out
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _observe_publish(self, result: DisseminationResult) -> None:
+        """Fold one publish outcome into the metrics registry (no-op by default)."""
+        self._publishes.inc()
+        self._fanout.observe(len(result.subscribers))
+        self._retries.inc(result.retries)
+        self._dropped.inc(result.dropped)
+        self._buffered.inc(result.buffered)
+        for r in result.routes.values():
+            if r.delivered:
+                self._delivered.inc()
+                self._hops.observe(r.hops)
+
+    def _trace_publish(
+        self, result: DisseminationResult, time: float, fault_notes: dict
+    ) -> None:
+        """Emit one publish span: every route with its hop decisions."""
+        route_rows = []
+        for s in sorted(result.routes):
+            r = result.routes[s]
+            row: dict = {
+                "subscriber": int(s),
+                "delivered": bool(r.delivered),
+                "hops": r.hops,
+                "path": [int(v) for v in r.path],
+            }
+            if r.decisions:
+                row["hops_detail"] = [d.as_dict() for d in r.decisions]
+            note = fault_notes.get(s)
+            if note is not None:
+                row["fault"] = note
+            route_rows.append(row)
+        self.tracer.record(
+            {
+                "type": "publish",
+                "msg": self.tracer.next_message_id(),
+                "time": float(time),
+                "publisher": int(result.publisher),
+                "subscribers": [int(s) for s in result.subscribers],
+                "delivered": len(result.delivered),
+                "dropped": result.dropped,
+                "buffered": result.buffered,
+                "retries": result.retries,
+                "routes": route_rows,
+            }
         )
 
     def _deposit_missed(
@@ -182,13 +268,18 @@ class PubSubSystem:
         return buffered
 
     def _inject_link_faults(
-        self, routes: dict[int, RouteResult], time: float
+        self,
+        routes: dict[int, RouteResult],
+        time: float,
+        fault_notes: "dict[int, dict] | None" = None,
     ) -> "tuple[dict[int, RouteResult], int, int]":
         """Replay each routed path over the lossy links of the fault plan.
 
         A shared edge cache ensures hops common to several paths (the
         dissemination tree's shared prefixes) are transmitted — and can be
-        lost — exactly once per publish event.
+        lost — exactly once per publish event. When ``fault_notes`` is
+        given (route tracing), each dropped subscriber gets an annotation
+        recording where its path died and why.
         """
         edge_cache: dict = {}
         out: dict[int, RouteResult] = {}
@@ -206,11 +297,42 @@ class PubSubSystem:
                 out[s] = result
             else:
                 dropped += 1
+                decisions = result.decisions
+                if decisions is not None:
+                    # Keep only the decisions for hops actually taken.
+                    decisions = decisions[: max(0, outcome.lost_at - 1)]
                 out[s] = RouteResult(
-                    path=result.path[: outcome.lost_at], delivered=False
+                    path=result.path[: outcome.lost_at],
+                    delivered=False,
+                    decisions=decisions,
                 )
+                if fault_notes is not None:
+                    fault_notes[s] = {
+                        "lost_at": outcome.lost_at,
+                        "partition": outcome.partition_blocked,
+                        "retries": outcome.retries,
+                    }
         return out, retries, dropped
 
     def lookup(self, src: int, dst: int, online: "np.ndarray | None" = None) -> RouteResult:
         """Point-to-point social lookup (Fig. 2's metric)."""
-        return self.router.route(src, dst, online=online)
+        result = self.router.route(src, dst, online=online)
+        self.registry.counter("lookup.events", "point-to-point social lookups").inc()
+        if result.delivered:
+            self.registry.histogram(
+                "lookup.hops", HOP_BUCKETS, "hop counts of delivered lookups"
+            ).observe(result.hops)
+        if self.tracer is not None:
+            span = {
+                "type": "lookup",
+                "msg": self.tracer.next_message_id(),
+                "src": int(src),
+                "dst": int(dst),
+                "delivered": bool(result.delivered),
+                "hops": result.hops,
+                "path": [int(v) for v in result.path],
+            }
+            if result.decisions:
+                span["hops_detail"] = [d.as_dict() for d in result.decisions]
+            self.tracer.record(span)
+        return result

@@ -27,6 +27,8 @@ from repro.net.workload import PublishWorkload
 from repro.overlay.base import OverlayNetwork
 from repro.pubsub.api import PubSubSystem
 from repro.sim.events import EventQueue
+from repro.sim.trace import TraceRecorder
+from repro.telemetry.registry import get_registry
 from repro.util.exceptions import ConfigurationError
 
 __all__ = ["NotificationRecord", "SimulationReport", "NotificationSimulator"]
@@ -148,6 +150,8 @@ class NotificationSimulator:
         faults: "FaultPlan | None" = None,
         stabilizer=None,
         catchup=None,
+        recorder: "TraceRecorder | None" = None,
+        registry=None,
     ):
         if maintenance_period <= 0:
             raise ConfigurationError(
@@ -177,6 +181,19 @@ class NotificationSimulator:
         self.maintenance_period = maintenance_period
         self.payload_mb = payload_mb
         self._schedules: "list[ChurnSchedule] | None" = None
+        #: optional per-round series sink; when set, every maintenance tick
+        #: records live-peer count and catch-up occupancy, and every
+        #: notification its delivery outcome, exportable as JSONL.
+        self.recorder = recorder
+        self.registry = registry if registry is not None else get_registry()
+        self._run_timer = self.registry.timer("sim.run")
+        self._m_publishes = self.registry.counter(
+            "sim.publishes", "publish events disseminated by the simulator"
+        )
+        self._m_ticks = self.registry.counter(
+            "sim.maintenance_ticks", "maintenance ticks executed"
+        )
+        self._tick_index = 0
 
     # -- liveness ----------------------------------------------------------
 
@@ -209,7 +226,9 @@ class NotificationSimulator:
         catchup_stats_before = (
             self.catchup.stats.as_dict() if self.catchup is not None else None
         )
-        queue.run_until(horizon, lambda e: self._handle(e, report))
+        self._tick_index = 0
+        with self._run_timer:
+            queue.run_until(horizon, lambda e: self._handle(e, report))
         report.false_evictions = (
             getattr(self._repair_owner, "false_evictions", 0) - evictions_before
         )
@@ -259,6 +278,15 @@ class NotificationSimulator:
             if self.catchup is not None:
                 report.catchup_recovered += self.catchup.deliver(online, time=event.time)
             report.maintenance_ticks += 1
+            self._m_ticks.inc()
+            self._tick_index += 1
+            if self.recorder is not None:
+                tick = self._tick_index
+                if online is not None:
+                    self.recorder.record("sim.online_peers", tick, int(online.sum()))
+                if self.catchup is not None:
+                    self.recorder.record("sim.catchup_pending", tick, self.catchup.pending())
+                self.recorder.record("sim.notifications", tick, len(report.records))
             return
         if event.kind != "publish":  # pragma: no cover - future event kinds
             return
@@ -288,3 +316,12 @@ class NotificationSimulator:
                 retries=result.retries,
             )
         )
+        self._m_publishes.inc()
+        if self.recorder is not None:
+            index = len(report.records) - 1
+            self.recorder.record("notify.delivered", index, len(result.delivered))
+            self.recorder.record("notify.online_subscribers", index, len(result.subscribers))
+            if result.dropped:
+                self.recorder.record("notify.dropped", index, result.dropped)
+            if result.retries:
+                self.recorder.record("notify.retries", index, result.retries)

@@ -2,11 +2,15 @@
 
 Overlay construction and churn experiments record scalar series (IDs moved,
 links changed, availability, live peers) per round; the experiment harness
-turns those series into the figures' rows.
+turns those series into the figures' rows. Recorders serialize to JSONL
+(:meth:`TraceRecorder.export`) so a run's series land next to the metrics
+and route traces in a telemetry directory, and :meth:`TraceRecorder.merge`
+combines the recorders of independent trials into one.
 """
 
 from __future__ import annotations
 
+import json
 from collections import defaultdict
 
 import numpy as np
@@ -43,3 +47,52 @@ class TraceRecorder:
 
     def __contains__(self, name: str) -> bool:
         return name in self._series
+
+    # -- serialization / combination ----------------------------------------
+
+    def to_rows(self) -> list[dict]:
+        """Every recorded point as ``{"series", "round", "value"}`` dicts.
+
+        Rows are ordered by series name, then recording order, so the
+        output is deterministic for a deterministic run.
+        """
+        rows = []
+        for name in self.names():
+            for round_index, value in self._series[name]:
+                rows.append({"series": name, "round": round_index, "value": value})
+        return rows
+
+    def export(self, path: str) -> str:
+        """Write the rows as JSONL (one point per line); returns ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for row in self.to_rows():
+                fh.write(json.dumps(row, separators=(",", ":")))
+                fh.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "TraceRecorder":
+        """Rebuild a recorder from an :meth:`export`-ed JSONL file."""
+        recorder = cls()
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                row = json.loads(line)
+                recorder.record(row["series"], row["round"], row["value"])
+        return recorder
+
+    def merge(self, other: "TraceRecorder") -> "TraceRecorder":
+        """Fold ``other``'s points into this recorder (returns ``self``).
+
+        Combines per-trial recorders: points of shared series are
+        concatenated and re-sorted by round (stable, so same-round points
+        keep their relative order and :meth:`last` favours the later
+        contribution).
+        """
+        for name, points in other._series.items():
+            mine = self._series[name]
+            mine.extend(points)
+            mine.sort(key=lambda p: p[0])
+        return self

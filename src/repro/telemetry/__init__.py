@@ -1,0 +1,64 @@
+"""repro.telemetry — metrics registry, route tracing, and run reports.
+
+The measurement substrate the ROADMAP's perf work needs: a
+process-wide but explicitly-injectable :class:`MetricsRegistry`
+(counters, gauges, fixed-bucket histograms, phase timers), a
+:class:`RouteTracer` recording per-message spans down to individual
+greedy/lookahead hop decisions, and exporters (Prometheus text +
+structured JSON run report) rendered back by ``select-repro report``.
+
+The default registry is the zero-overhead :class:`NullRegistry` —
+pinned bit-identical to seed behaviour the same way
+``FaultPlan.none()`` is — so nothing changes unless a caller installs
+real telemetry (``select-repro <exp> --telemetry DIR`` or
+:func:`set_registry`/:func:`set_tracer`).
+"""
+
+from repro.telemetry.export import (
+    prometheus_text,
+    registry_snapshot,
+    write_telemetry,
+)
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    HOP_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    Timer,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.telemetry.report import load_report, render_report
+from repro.telemetry.tracer import RouteTracer, get_tracer, set_tracer, use_tracer
+
+# NOTE: repro.telemetry.validate is deliberately not imported here so that
+# ``python -m repro.telemetry.validate`` runs without a double-import
+# warning; import it directly (``from repro.telemetry.validate import
+# validate_dir``) when needed.
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HOP_BUCKETS",
+    "Timer",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "RouteTracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "registry_snapshot",
+    "prometheus_text",
+    "write_telemetry",
+    "load_report",
+    "render_report",
+]

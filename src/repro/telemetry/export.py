@@ -1,0 +1,160 @@
+"""Telemetry exporters: Prometheus text format and JSON run reports.
+
+A telemetry directory written by :func:`write_telemetry` contains:
+
+* ``metrics.prom``  — Prometheus text exposition of every instrument;
+* ``report.json``   — structured run report: metadata, counters, gauges,
+  histograms (edges + per-bucket counts + sum/count), trace summary;
+* ``traces.jsonl``  — per-message route spans (when a tracer ran);
+* ``series.jsonl``  — per-round scalar series (when a recorder ran).
+
+``select-repro report DIR`` renders these files back into text
+(:mod:`repro.telemetry.report`) and ``python -m repro.telemetry.validate
+DIR`` schema-checks them in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = [
+    "registry_snapshot",
+    "prometheus_text",
+    "write_telemetry",
+    "METRICS_FILE",
+    "REPORT_FILE",
+    "TRACES_FILE",
+    "SERIES_FILE",
+]
+
+METRICS_FILE = "metrics.prom"
+REPORT_FILE = "report.json"
+TRACES_FILE = "traces.jsonl"
+SERIES_FILE = "series.jsonl"
+
+
+def _prom_name(name: str) -> str:
+    """Dotted metric name -> Prometheus-legal identifier."""
+    out = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value; integers without a trailing ``.0``."""
+    f = float(value)
+    return str(int(f)) if f.is_integer() else repr(f)
+
+
+def registry_snapshot(registry: MetricsRegistry) -> dict:
+    """Plain-dict snapshot of every instrument (JSON-serializable)."""
+    return {
+        "counters": {n: c.value for n, c in registry.counters().items()},
+        "gauges": {n: g.value for n, g in registry.gauges().items()},
+        "histograms": {
+            n: {
+                "buckets": list(h.buckets),
+                "counts": list(h.counts),
+                "sum": h.sum,
+                "count": h.count,
+            }
+            for n, h in registry.histograms().items()
+        },
+    }
+
+
+def prometheus_text(registry: MetricsRegistry, prefix: str = "select_repro") -> str:
+    """Prometheus text exposition format (v0.0.4) for the registry."""
+    lines: list[str] = []
+    for name, counter in registry.counters().items():
+        metric = f"{prefix}_{_prom_name(name)}"
+        if counter.help:
+            lines.append(f"# HELP {metric} {counter.help}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(counter.value)}")
+    for name, gauge in registry.gauges().items():
+        metric = f"{prefix}_{_prom_name(name)}"
+        if gauge.help:
+            lines.append(f"# HELP {metric} {gauge.help}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(gauge.value)}")
+    for name, hist in registry.histograms().items():
+        metric = f"{prefix}_{_prom_name(name)}"
+        if hist.help:
+            lines.append(f"# HELP {metric} {hist.help}")
+        lines.append(f"# TYPE {metric} histogram")
+        for edge, cum in zip(hist.buckets, hist.cumulative()):
+            lines.append(f'{metric}_bucket{{le="{_fmt(edge)}"}} {cum}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{metric}_sum {_fmt(hist.sum)}")
+        lines.append(f"{metric}_count {hist.count}")
+    return "\n".join(lines) + "\n"
+
+
+def _trace_summary(tracer) -> dict:
+    """Aggregate view of the spans for the JSON report."""
+    spans = tracer.to_rows()
+    publishes = [s for s in spans if s.get("type") == "publish"]
+    lookups = [s for s in spans if s.get("type") == "lookup"]
+    hops = []
+    link_kinds: dict[str, int] = {}
+    for span in publishes:
+        for route in span.get("routes", ()):
+            if route.get("delivered"):
+                hops.append(route.get("hops", 0))
+            for hop in route.get("hops_detail", ()):
+                kind = hop.get("link", "other")
+                link_kinds[kind] = link_kinds.get(kind, 0) + 1
+    return {
+        "spans": len(spans),
+        "publishes": len(publishes),
+        "lookups": len(lookups),
+        "dropped_spans": tracer.dropped_spans,
+        "mean_hops": (sum(hops) / len(hops)) if hops else 0.0,
+        "link_kinds": dict(sorted(link_kinds.items())),
+    }
+
+
+def write_telemetry(
+    out_dir: str,
+    registry: MetricsRegistry,
+    tracer=None,
+    recorder=None,
+    meta: "dict | None" = None,
+) -> dict:
+    """Write the full telemetry directory; returns ``{kind: path}``.
+
+    ``tracer`` is an optional :class:`~repro.telemetry.tracer.RouteTracer`
+    and ``recorder`` an optional :class:`~repro.sim.trace.TraceRecorder`;
+    their files are only written when present.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    paths = {}
+
+    prom_path = os.path.join(out_dir, METRICS_FILE)
+    with open(prom_path, "w", encoding="utf-8") as fh:
+        fh.write(prometheus_text(registry))
+    paths["metrics"] = prom_path
+
+    report = {
+        "schema": "select-repro/telemetry/v1",
+        "meta": dict(meta or {}),
+        "metrics": registry_snapshot(registry),
+    }
+    if tracer is not None:
+        paths["traces"] = tracer.export(os.path.join(out_dir, TRACES_FILE))
+        report["traces"] = _trace_summary(tracer)
+    if recorder is not None:
+        paths["series"] = recorder.export(os.path.join(out_dir, SERIES_FILE))
+        report["series"] = {"names": recorder.names()}
+
+    report_path = os.path.join(out_dir, REPORT_FILE)
+    with open(report_path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True, default=float)
+        fh.write("\n")
+    paths["report"] = report_path
+    return paths

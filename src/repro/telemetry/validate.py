@@ -1,0 +1,165 @@
+"""Schema checks for an emitted telemetry directory (CI gate).
+
+``python -m repro.telemetry.validate DIR`` exits non-zero when any file
+in the directory violates the telemetry contract: ``report.json`` must
+carry the v1 schema tag with metrics maps, every ``traces.jsonl`` /
+``series.jsonl`` line must be a JSON object with the per-type required
+keys, and ``metrics.prom`` must be well-formed Prometheus text format.
+No external schema library — the container deliberately stays on the
+standard toolchain — so checks are explicit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import sys
+
+from repro.telemetry.export import METRICS_FILE, REPORT_FILE, SERIES_FILE, TRACES_FILE
+
+__all__ = ["validate_dir", "main"]
+
+_PROM_LINE = re.compile(
+    r"^(#\s(HELP|TYPE)\s[a-zA-Z_][a-zA-Z0-9_]*.*"
+    r"|[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})?\s[-+0-9.eE]+(nan|inf)?"
+    r"|)$"
+)
+
+_SPAN_KEYS = {
+    "publish": ("msg", "publisher", "subscribers", "routes"),
+    "lookup": ("msg", "src", "dst", "delivered", "path"),
+}
+
+
+def _check_report(path: str, errors: list[str]) -> None:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        errors.append(f"{REPORT_FILE}: unreadable ({exc})")
+        return
+    if report.get("schema") != "select-repro/telemetry/v1":
+        errors.append(f"{REPORT_FILE}: missing/unknown schema tag {report.get('schema')!r}")
+    metrics = report.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append(f"{REPORT_FILE}: 'metrics' must be an object")
+        return
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            errors.append(f"{REPORT_FILE}: metrics.{section} must be an object")
+    for name, h in metrics.get("histograms", {}).items():
+        if not isinstance(h, dict) or not {"buckets", "counts", "sum", "count"} <= set(h):
+            errors.append(f"{REPORT_FILE}: histogram {name!r} missing fields")
+            continue
+        if len(h["counts"]) != len(h["buckets"]) + 1:
+            errors.append(
+                f"{REPORT_FILE}: histogram {name!r} needs len(buckets)+1 counts "
+                f"(got {len(h['counts'])} for {len(h['buckets'])} edges)"
+            )
+        if sum(h["counts"]) != h["count"]:
+            errors.append(f"{REPORT_FILE}: histogram {name!r} bucket counts != count")
+
+
+def _check_jsonl(path: str, name: str, errors: list[str], required_by_type=None) -> None:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    except OSError as exc:
+        errors.append(f"{name}: unreadable ({exc})")
+        return
+    for i, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{name}:{i}: invalid JSON ({exc})")
+            continue
+        if not isinstance(obj, dict):
+            errors.append(f"{name}:{i}: expected an object, got {type(obj).__name__}")
+            continue
+        if required_by_type is not None:
+            kind = obj.get("type")
+            required = required_by_type.get(kind)
+            if required is None:
+                errors.append(f"{name}:{i}: unknown span type {kind!r}")
+                continue
+            missing = [k for k in required if k not in obj]
+            if missing:
+                errors.append(f"{name}:{i}: {kind} span missing keys {missing}")
+
+
+def _check_series(path: str, errors: list[str]) -> None:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    except OSError as exc:
+        errors.append(f"{SERIES_FILE}: unreadable ({exc})")
+        return
+    for i, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{SERIES_FILE}:{i}: invalid JSON ({exc})")
+            continue
+        if not isinstance(obj, dict) or not {"series", "round", "value"} <= set(obj):
+            errors.append(f"{SERIES_FILE}:{i}: needs series/round/value keys")
+
+
+def _check_prom(path: str, errors: list[str]) -> None:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as exc:
+        errors.append(f"{METRICS_FILE}: unreadable ({exc})")
+        return
+    for i, line in enumerate(lines, 1):
+        if not _PROM_LINE.match(line):
+            errors.append(f"{METRICS_FILE}:{i}: malformed line {line!r}")
+
+
+def validate_dir(telemetry_dir: str) -> list[str]:
+    """All schema violations found in ``telemetry_dir`` (empty = valid)."""
+    errors: list[str] = []
+    report_path = os.path.join(telemetry_dir, REPORT_FILE)
+    prom_path = os.path.join(telemetry_dir, METRICS_FILE)
+    if not os.path.isdir(telemetry_dir):
+        return [f"{telemetry_dir!r} is not a directory"]
+    if not os.path.isfile(report_path):
+        errors.append(f"missing {REPORT_FILE}")
+    else:
+        _check_report(report_path, errors)
+    if not os.path.isfile(prom_path):
+        errors.append(f"missing {METRICS_FILE}")
+    else:
+        _check_prom(prom_path, errors)
+    traces_path = os.path.join(telemetry_dir, TRACES_FILE)
+    if os.path.isfile(traces_path):
+        _check_jsonl(traces_path, TRACES_FILE, errors, required_by_type=_SPAN_KEYS)
+    series_path = os.path.join(telemetry_dir, SERIES_FILE)
+    if os.path.isfile(series_path):
+        _check_series(series_path, errors)
+    return errors
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.telemetry.validate TELEMETRY_DIR", file=sys.stderr)
+        return 2
+    errors = validate_dir(argv[0])
+    if errors:
+        for err in errors:
+            print(f"SCHEMA ERROR: {err}", file=sys.stderr)
+        return 1
+    print(f"{argv[0]}: telemetry schema OK")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -168,3 +168,46 @@ class TestTraceRecorder:
         t.record("a", 0, 1)
         assert t.names() == ["a", "b"]
         assert "a" in t and "c" not in t
+
+    def test_to_rows_deterministic_order(self):
+        t = TraceRecorder()
+        t.record("b", 1, 2.0)
+        t.record("a", 0, 1.0)
+        t.record("b", 0, 3.0)
+        assert t.to_rows() == [
+            {"series": "a", "round": 0, "value": 1.0},
+            {"series": "b", "round": 1, "value": 2.0},
+            {"series": "b", "round": 0, "value": 3.0},
+        ]
+
+    def test_export_load_roundtrip(self, tmp_path):
+        t = TraceRecorder()
+        t.record("avail", 0, 0.5)
+        t.record("avail", 1, 1.0)
+        t.record("peers", 0, 100)
+        path = t.export(str(tmp_path / "series.jsonl"))
+        loaded = TraceRecorder.load(path)
+        assert loaded.to_rows() == t.to_rows()
+        rounds, values = loaded.series("avail")
+        assert list(rounds) == [0, 1] and list(values) == [0.5, 1.0]
+
+    def test_merge_sorts_by_round(self):
+        a = TraceRecorder()
+        a.record("x", 0, 1.0)
+        a.record("x", 2, 3.0)
+        b = TraceRecorder()
+        b.record("x", 1, 2.0)
+        b.record("y", 0, 9.0)
+        assert a.merge(b) is a
+        rounds, values = a.series("x")
+        assert list(rounds) == [0, 1, 2]
+        assert list(values) == [1.0, 2.0, 3.0]
+        assert a.last("y") == 9.0
+
+    def test_merge_same_round_keeps_later_contribution(self):
+        a = TraceRecorder()
+        a.record("x", 0, 1.0)
+        b = TraceRecorder()
+        b.record("x", 0, 2.0)
+        a.merge(b)
+        assert a.last("x") == 2.0

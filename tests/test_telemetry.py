@@ -1,0 +1,350 @@
+"""Telemetry subsystem: registry, tracer, exporters, zero-overhead pin."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import SelectConfig
+from repro.core.select import SelectOverlay
+from repro.experiments import fig2_hops
+from repro.experiments.common import ExperimentConfig
+from repro.pubsub.api import PubSubSystem
+from repro.telemetry import (
+    HOP_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    RouteTracer,
+    get_registry,
+    registry_snapshot,
+    use_registry,
+    use_tracer,
+    write_telemetry,
+)
+from repro.telemetry.registry import Histogram
+from repro.telemetry.report import render_report
+from repro.telemetry.validate import validate_dir
+from repro.util.exceptions import ConfigurationError
+
+
+class TestRegistry:
+    def test_counter_gauge_basics(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a.count")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+        g = reg.gauge("a.level")
+        g.set(7)
+        g.dec(3)
+        assert g.value == 4.0
+
+    def test_same_name_shares_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x")
+
+    def test_timer_uses_perf_counter(self):
+        reg = MetricsRegistry()
+        with reg.timer("phase") as t:
+            pass
+        assert t.elapsed >= 0.0
+        hist = reg.histograms()["phase.seconds"]
+        assert hist.count == 1
+        assert hist.sum == pytest.approx(t.elapsed)
+
+    def test_histogram_rejects_bad_edges(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=())
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+
+class TestHistogramDeterminism:
+    def test_fixed_edges_order_independent(self):
+        values = [0.5, 1.0, 1.5, 3.0, 9.0, 100.0, 1000.0]
+        a = Histogram("a", buckets=HOP_BUCKETS)
+        b = Histogram("b", buckets=HOP_BUCKETS)
+        for v in values:
+            a.observe(v)
+        for v in reversed(values):
+            b.observe(v)
+        assert a.counts == b.counts
+        assert a.sum == b.sum and a.count == b.count
+
+    def test_edge_values_land_in_le_bucket(self):
+        h = Histogram("h", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        h.observe(2.0)
+        h.observe(2.0001)
+        assert h.counts == [1, 1, 1]
+        assert h.cumulative() == [1, 2, 3]
+
+    def test_snapshot_identical_across_runs(self):
+        def run():
+            reg = MetricsRegistry()
+            h = reg.histogram("hops", HOP_BUCKETS)
+            for v in (1, 2, 2, 5, 9, 40):
+                h.observe(v)
+            reg.counter("n").inc(6)
+            return registry_snapshot(reg)
+
+        assert run() == run()
+
+
+class TestNullRegistry:
+    def test_no_ops_and_shared_instrument(self):
+        null = NullRegistry()
+        c = null.counter("anything")
+        assert c is null.gauge("other") is null.histogram("third")
+        c.inc()
+        c.set(5)
+        c.observe(1.0)
+        assert c.value == 0.0
+        with null.timer("phase") as t:
+            pass
+        assert t.elapsed == 0.0
+
+    def test_process_default_is_null(self):
+        assert get_registry() is NULL_REGISTRY
+        assert get_registry().is_null
+
+    def test_use_registry_restores(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            assert get_registry() is reg
+        assert get_registry() is NULL_REGISTRY
+
+
+class TestZeroOverheadPin:
+    """Telemetry off (default) and on must give bit-identical results."""
+
+    def test_publish_bit_identical_with_telemetry(self, built_select):
+        plain = PubSubSystem(built_select)
+        baseline = {p: plain.publish(p) for p in range(0, built_select.graph.num_nodes, 11)}
+        with use_registry(MetricsRegistry()), use_tracer(RouteTracer()):
+            traced = PubSubSystem(built_select)
+            for p, a in baseline.items():
+                b = traced.publish(p)
+                assert a.subscribers == b.subscribers
+                assert {s: r.path for s, r in a.routes.items()} == {
+                    s: r.path for s, r in b.routes.items()
+                }
+                assert a.relay_nodes == b.relay_nodes
+
+    def test_experiment_rows_bit_identical(self):
+        config = ExperimentConfig(
+            datasets=("facebook",),
+            systems=("select",),
+            num_nodes=48,
+            trials=1,
+            lookups=20,
+            publishers=4,
+        )
+        baseline = fig2_hops.run(config, points=1)
+        with use_registry(MetricsRegistry()), use_tracer(RouteTracer()):
+            instrumented = fig2_hops.run(config, points=1)
+        assert baseline == instrumented
+
+    def test_null_registry_pins_seed_behavior(self, built_select):
+        # Explicit NullRegistry == no registry argument at all.
+        a = PubSubSystem(built_select).publish(3)
+        b = PubSubSystem(built_select, registry=NullRegistry()).publish(3)
+        assert {s: r.path for s, r in a.routes.items()} == {
+            s: r.path for s, r in b.routes.items()
+        }
+
+
+class TestRouteTracer:
+    @pytest.fixture()
+    def traced_publish(self, built_select):
+        tracer = RouteTracer()
+        with use_registry(MetricsRegistry()) as reg, use_tracer(tracer):
+            ps = PubSubSystem(built_select)
+            result = ps.publish(0)
+            ps.lookup(0, result.subscribers[0])
+        return tracer, reg, result
+
+    def test_span_contents(self, traced_publish):
+        tracer, reg, result = traced_publish
+        publishes = tracer.spans("publish")
+        lookups = tracer.spans("lookup")
+        assert len(publishes) == 1 and len(lookups) == 1
+        span = publishes[0]
+        assert span["publisher"] == 0
+        assert span["delivered"] == len(result.delivered)
+        for route in span["routes"]:
+            if not route["delivered"]:
+                continue
+            detail = route["hops_detail"]
+            assert len(detail) == route["hops"]
+            # Decisions chain src -> ... -> subscriber along the path.
+            assert [d["from"] for d in detail] == route["path"][:-1]
+            assert [d["to"] for d in detail] == route["path"][1:]
+            for d in detail:
+                assert d["link"] in ("short", "long", "successor", "other")
+                assert d["rule"] in ("direct", "lookahead", "greedy")
+                assert d["ring_distance"] >= 0.0
+            # The delivering hop is always the direct rule.
+            assert detail[-1]["rule"] == "direct"
+
+    def test_metrics_match_result(self, traced_publish):
+        tracer, reg, result = traced_publish
+        counters = {n: c.value for n, c in reg.counters().items()}
+        assert counters["publish.events"] == 1
+        assert counters["publish.delivered"] == len(result.delivered)
+        assert counters["lookup.events"] == 1
+        hops = reg.histograms()["publish.hops"]
+        assert hops.count == len(result.delivered)
+
+    def test_jsonl_round_trip(self, traced_publish, tmp_path):
+        tracer, _, _ = traced_publish
+        path = tracer.export(str(tmp_path / "traces.jsonl"))
+        loaded = RouteTracer.load(path)
+        assert loaded == tracer.to_rows()
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                assert isinstance(json.loads(line), dict)
+
+    def test_limit_drops_and_counts(self):
+        tracer = RouteTracer(limit=1)
+        tracer.record({"type": "publish", "msg": 0})
+        tracer.record({"type": "publish", "msg": 1})
+        assert len(tracer) == 1
+        assert tracer.dropped_spans == 1
+
+
+class TestExportAndReport:
+    def _populated(self, built_select, tmp_path):
+        reg = MetricsRegistry()
+        tracer = RouteTracer()
+        with use_registry(reg), use_tracer(tracer):
+            ps = PubSubSystem(built_select)
+            for p in range(4):
+                ps.publish(p)
+        with reg.timer("experiment.demo"):
+            pass
+        out = str(tmp_path / "tel")
+        paths = write_telemetry(out, reg, tracer=tracer, meta={"experiments": "demo"})
+        return out, paths
+
+    def test_prometheus_text_format(self, built_select, tmp_path):
+        out, paths = self._populated(built_select, tmp_path)
+        text = open(paths["metrics"], encoding="utf-8").read()
+        assert "# TYPE select_repro_publish_events counter" in text
+        assert "# TYPE select_repro_publish_hops histogram" in text
+        assert 'select_repro_publish_hops_bucket{le="+Inf"}' in text
+
+    def test_schema_validates(self, built_select, tmp_path):
+        out, _ = self._populated(built_select, tmp_path)
+        assert validate_dir(out) == []
+
+    def test_schema_catches_corruption(self, built_select, tmp_path):
+        out, paths = self._populated(built_select, tmp_path)
+        with open(paths["traces"], "a", encoding="utf-8") as fh:
+            fh.write('{"type": "mystery"}\n')
+        errors = validate_dir(out)
+        assert any("unknown span type" in e for e in errors)
+
+    def test_report_renders_phases_traces_counters(self, built_select, tmp_path):
+        out, _ = self._populated(built_select, tmp_path)
+        text = render_report(out)
+        assert "Per-phase timings" in text
+        assert "experiment.demo" in text
+        assert "publish.events" in text
+        assert "Per-message route traces" in text
+        assert "msg 0" in text
+
+    def test_validate_missing_dir(self, tmp_path):
+        assert validate_dir(str(tmp_path / "nope"))
+
+
+class TestCatchupAndStabilizerCounters:
+    def test_stabilizer_counters_mirror_stats(self, small_graph):
+        import numpy as np
+
+        from repro.core.stabilize import Stabilizer
+        from repro.net.faults import FaultPlan, PingService
+
+        reg = MetricsRegistry()
+        overlay = SelectOverlay(small_graph, config=SelectConfig(max_rounds=25)).build(seed=3)
+        plan = FaultPlan(seed=11)
+        stab = Stabilizer(overlay, ping_service=PingService(plan), registry=reg)
+        online = np.ones(small_graph.num_nodes, dtype=bool)
+        online[::5] = False
+        for _ in range(3):
+            stab.round(online)
+        counters = {n: c.value for n, c in reg.counters().items()}
+        assert counters["stabilize.rounds"] == stab.stats.rounds == 3
+        assert counters["stabilize.promotions"] == stab.stats.promotions
+        assert counters["stabilize.rectifications"] == stab.stats.rectifications
+        assert counters["stabilize.notifies"] == stab.stats.notifies
+        assert reg.histograms()["stabilize.round.seconds"].count == 3
+
+    def test_catchup_counters_and_gauge(self, small_graph):
+        from repro.core.stabilize import CatchUpStore
+
+        reg = MetricsRegistry()
+        overlay = SelectOverlay(small_graph, config=SelectConfig(max_rounds=25)).build(seed=3)
+        store = CatchUpStore(overlay, capacity=4, registry=reg)
+        seq = store.new_notification()
+        store.deposit(seq, publisher=0, subscriber=1, counted=True)
+        assert reg.gauges()["catchup.pending"].value == store.pending() > 0
+        store.deliver()
+        counters = {n: c.value for n, c in reg.counters().items()}
+        assert counters["catchup.deposited"] == store.stats.deposited == 1
+        assert counters["catchup.recovered"] == store.stats.recovered == 1
+        assert reg.gauges()["catchup.pending"].value == 0
+
+
+class TestCli:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_telemetry_flag_and_report(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        out = str(tmp_path / "tel")
+        rc = main(
+            [
+                "fig2",
+                "--preset",
+                "quick",
+                "--num-nodes",
+                "48",
+                "--trials",
+                "1",
+                "--datasets",
+                "facebook",
+                "--systems",
+                "select",
+                "--telemetry",
+                out,
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        assert validate_dir(out) == []
+        # The run installed and must have uninstalled the registry.
+        assert get_registry() is NULL_REGISTRY
+        assert main(["report", out]) == 0
+        rendered = capsys.readouterr().out
+        assert "Per-phase timings" in rendered
+        assert "experiment.fig2" in rendered
+        assert "lookup.events" in rendered
+
+    def test_report_without_dir_errors(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["report"]) == 2
