@@ -35,8 +35,10 @@ def exchange(p: PeerState, q: PeerState) -> None:
     * both peers' lookahead sets record the other's current links.
     """
     mutual = len(p.neighborhood_set & q.neighborhood_set)
-    q_links = q.table.all_links()
-    p_links = p.table.all_links()
+    # Cached views: exchanges only read the link sets, and every round
+    # runs one per peer, so the fresh-copy allocation was pure overhead.
+    q_links = q.table.link_view()
+    p_links = p.table.link_view()
     # Passive side (Alg. 4): bitmap of q's links over p's neighborhood (M),
     # and symmetric bitmap of p's links over q's neighborhood (M').
     bitmap_for_p = p.friendship_bitmap_of(q_links)

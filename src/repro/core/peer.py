@@ -201,7 +201,7 @@ class PeerState:
     def covered_friends(self) -> set[int]:
         """Friends reachable in <= 2 hops via ``R_p`` and ``L_p``."""
         reach: set[int] = set()
-        direct = self.table.all_links()
+        direct = self.table.link_view()
         for f in self.neighborhood_set:
             if f in direct:
                 reach.add(f)

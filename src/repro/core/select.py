@@ -260,6 +260,14 @@ class SelectOverlay(OverlayNetwork):
             if float(self.upload_mbps[src]) > float(self.upload_mbps[slowest]):
                 sources.discard(slowest)
                 self.tables[slowest].long_links.discard(dst)
+                # The eviction is link churn on the *evicted* peer: its own
+                # vertex program may already have run this round, so its
+                # before/after comparison cannot see the loss. Count it
+                # here or quiescence detection undercounts churn and can
+                # declare convergence a round early.
+                evicted = self.peers[slowest]
+                evicted.stable_rounds = 0
+                self.round_link_changes += 1
                 sources.add(src)
                 self.incoming_count[dst] = len(sources)
                 return True

@@ -13,9 +13,81 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.graphs.graph import SocialGraph
+from repro.idspace.space import ring_distance
 from repro.util.exceptions import ConfigurationError
 
 __all__ = ["RoutingTable", "OverlayNetwork"]
+
+
+class _LinkSet(set):
+    """Long-link set that invalidates the owning table's cached link view.
+
+    Every overlay (SELECT's gossip, the baselines, recovery, stabilize)
+    mutates ``table.long_links`` directly with plain set operations, so the
+    dirty flag has to live on the set itself — routing the invalidation
+    through ``add_long``/``drop_long`` alone would leave the cache stale.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self, table: "RoutingTable", iterable=()):
+        super().__init__(iterable)
+        self._table = table
+
+    def add(self, value):
+        self._table._dirty = True
+        set.add(self, value)
+
+    def discard(self, value):
+        self._table._dirty = True
+        set.discard(self, value)
+
+    def remove(self, value):
+        self._table._dirty = True
+        set.remove(self, value)
+
+    def pop(self):
+        self._table._dirty = True
+        return set.pop(self)
+
+    def clear(self):
+        self._table._dirty = True
+        set.clear(self)
+
+    def update(self, *others):
+        self._table._dirty = True
+        set.update(self, *others)
+
+    def difference_update(self, *others):
+        self._table._dirty = True
+        set.difference_update(self, *others)
+
+    def intersection_update(self, *others):
+        self._table._dirty = True
+        set.intersection_update(self, *others)
+
+    def symmetric_difference_update(self, other):
+        self._table._dirty = True
+        set.symmetric_difference_update(self, other)
+
+    def __ior__(self, other):
+        self._table._dirty = True
+        return set.__ior__(self, other)
+
+    def __iand__(self, other):
+        self._table._dirty = True
+        return set.__iand__(self, other)
+
+    def __isub__(self, other):
+        self._table._dirty = True
+        return set.__isub__(self, other)
+
+    def __ixor__(self, other):
+        self._table._dirty = True
+        return set.__ixor__(self, other)
+
+    def __reduce__(self):  # pragma: no cover - pickling support
+        return (set, (set(self),))
 
 
 class RoutingTable:
@@ -25,51 +97,113 @@ class RoutingTable:
     the symmetric *incoming* budget (the paper's ``K`` incoming cap) is
     enforced by the overlay that builds the tables, via
     :meth:`OverlayNetwork.try_accept_incoming`.
+
+    The combined link set is cached: :meth:`link_view` returns a frozenset
+    that is rebuilt lazily only after a mutation (long-link add/drop or a
+    short-range reassignment). Routing reads links orders of magnitude
+    more often than gossip changes them, so the hot paths index this view
+    instead of re-materializing a set per call.
     """
 
-    __slots__ = ("owner", "predecessor", "successor", "successors", "long_links", "max_long")
+    __slots__ = (
+        "owner",
+        "_predecessor",
+        "_successor",
+        "successors",
+        "_long_links",
+        "max_long",
+        "_dirty",
+        "_view",
+    )
 
     def __init__(self, owner: int, max_long: int):
         if max_long < 0:
             raise ConfigurationError(f"max_long must be non-negative, got {max_long}")
         self.owner = owner
-        self.predecessor: int | None = None
-        self.successor: int | None = None
+        self._predecessor: int | None = None
+        self._successor: int | None = None
         #: ordered successor list (immediate successor first, then backups).
         #: Maintenance/repair state only: the backups are *not* routing
         #: links, so they are excluded from :meth:`all_links` and change
         #: nothing on the default (fault-free) paths.
         self.successors: list[int] = []
-        self.long_links: set[int] = set()
+        self._long_links: _LinkSet = _LinkSet(self)
         self.max_long = max_long
+        self._dirty = True
+        self._view: frozenset[int] = frozenset()
 
-    def all_links(self) -> set[int]:
-        """Every outgoing link (short + long), excluding the owner."""
-        out = set(self.long_links)
-        if self.predecessor is not None:
-            out.add(self.predecessor)
-        if self.successor is not None:
-            out.add(self.successor)
-        out.discard(self.owner)
-        return out
+    # -- cached combined view ----------------------------------------------
+
+    @property
+    def predecessor(self) -> "int | None":
+        return self._predecessor
+
+    @predecessor.setter
+    def predecessor(self, value: "int | None") -> None:
+        self._predecessor = value
+        self._dirty = True
+
+    @property
+    def successor(self) -> "int | None":
+        return self._successor
+
+    @successor.setter
+    def successor(self, value: "int | None") -> None:
+        self._successor = value
+        self._dirty = True
+
+    @property
+    def long_links(self) -> set:
+        return self._long_links
+
+    @long_links.setter
+    def long_links(self, value) -> None:
+        # Wholesale rebinding (``table.long_links = {...}``) re-wraps the
+        # new contents so later in-place mutations keep invalidating.
+        self._long_links = _LinkSet(self, value)
+        self._dirty = True
+
+    def link_view(self) -> frozenset:
+        """Cached frozenset of every outgoing link, excluding the owner.
+
+        Identical contents to :meth:`all_links`; rebuilt only when dirty.
+        Callers must treat it as immutable (it is shared between calls).
+        """
+        if self._dirty:
+            out = set(self._long_links)
+            if self._predecessor is not None:
+                out.add(self._predecessor)
+            if self._successor is not None:
+                out.add(self._successor)
+            out.discard(self.owner)
+            self._view = frozenset(out)
+            self._dirty = False
+        return self._view
+
+    def all_links(self) -> set:
+        """Every outgoing link (short + long), excluding the owner.
+
+        Returns a fresh mutable copy; hot paths use :meth:`link_view`.
+        """
+        return set(self.link_view())
 
     def add_long(self, peer: int) -> bool:
         """Add a long link if budget allows; True on success."""
         if peer == self.owner:
             return False
-        if peer in self.long_links:
+        if peer in self._long_links:
             return True
-        if len(self.long_links) >= self.max_long:
+        if len(self._long_links) >= self.max_long:
             return False
-        self.long_links.add(peer)
+        self._long_links.add(peer)
         return True
 
     def drop_long(self, peer: int) -> None:
         """Remove a long link if present."""
-        self.long_links.discard(peer)
+        self._long_links.discard(peer)
 
     def __contains__(self, peer: int) -> bool:
-        return peer in self.all_links()
+        return peer in self.link_view()
 
 
 class OverlayNetwork(ABC):
@@ -152,34 +286,45 @@ class OverlayNetwork(ABC):
         overlays (OMen) override this with their own dissemination shape.
         Returns ``{subscriber: RouteResult}``.
         """
+        ids = self.ids
+        pub_id = float(ids[publisher])
+        # Ring distance, not |id difference|: subscribers just across the
+        # 0/1 wrap are ring-adjacent to the publisher, and sorting them as
+        # maximally far skews tree-merge order (and hence relay counts)
+        # near the seam.
         ordered = sorted(
             subscribers,
-            key=lambda s: (abs(self.ids[s] - self.ids[publisher]), s),
+            key=lambda s: (ring_distance(float(ids[s]), pub_id), s),
         )
         return {s: router.route(publisher, s, online=online) for s in ordered}
 
     # -- read API used by metrics -------------------------------------------
 
     def links(self, u: int) -> set[int]:
-        """Outgoing links (short + long) of peer ``u``."""
+        """Outgoing links (short + long) of peer ``u``.
+
+        Returns the cached frozenset view — treat it as immutable. Use
+        ``tables[u].all_links()`` for a mutable copy.
+        """
         self._check_built()
-        return self.tables[u].all_links()
+        return self.tables[u].link_view()
 
     def lookahead_set(self, u: int) -> dict[int, set[int]]:
-        """Symphony-style ``L_p``: each neighbor's own link set."""
+        """Symphony-style ``L_p``: each neighbor's own link set (views)."""
         self._check_built()
-        return {w: self.tables[w].all_links() for w in self.tables[u].all_links()}
+        tables = self.tables
+        return {w: tables[w].link_view() for w in tables[u].link_view()}
 
     def degree_vector(self) -> np.ndarray:
         """Outgoing link counts per peer."""
         self._check_built()
-        return np.array([len(self.tables[v].all_links()) for v in range(self.graph.num_nodes)])
+        return np.array([len(self.tables[v].link_view()) for v in range(self.graph.num_nodes)])
 
     def edge_count(self) -> int:
         """Number of distinct undirected overlay edges."""
         self._check_built()
         seen = set()
         for v in range(self.graph.num_nodes):
-            for w in self.tables[v].all_links():
-                seen.add((min(v, w), max(v, w)))
+            for w in self.tables[v].link_view():
+                seen.add((v, w) if v < w else (w, v))
         return len(seen)

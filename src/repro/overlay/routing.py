@@ -99,6 +99,22 @@ class GreedyRouter:
         forward blindly on stale tables and the message is lost the moment
         it is handed to an offline peer.
         """
+        return self._route(src, dst, online, detect_failures, None)
+
+    def _route(
+        self,
+        src: int,
+        dst: int,
+        online: "np.ndarray | None",
+        detect_failures: bool,
+        live_cache: "dict[int, list[int]] | None",
+    ) -> RouteResult:
+        """Single-route implementation; ``live_cache`` is batch scratch.
+
+        ``live_cache`` memoizes per-node live-link filtering across the
+        routes of one :meth:`route_many` batch (the online mask is fixed
+        for the whole batch, so the filtered lists are reusable).
+        """
         if src == dst:
             return RouteResult(path=[src], delivered=True)
         if online is not None and not (online[src] and online[dst]):
@@ -109,9 +125,15 @@ class GreedyRouter:
         visited = {src}
         current = src
         filter_links = online is not None and detect_failures
+        filter_mask = online if filter_links else None
         decisions: "list[HopDecision] | None" = [] if self.record_decisions else None
         for _ in range(self.max_hops):
-            links = self._live_links(current, online if filter_links else None)
+            if live_cache is not None:
+                links = live_cache.get(current)
+                if links is None:
+                    links = live_cache[current] = self._live_links(current, filter_mask)
+            else:
+                links = self._live_links(current, filter_mask)
             if dst in links:
                 path.append(dst)
                 if decisions is not None:
@@ -121,7 +143,7 @@ class GreedyRouter:
             nxt = None
             rule = "greedy"
             if self.lookahead:
-                nxt = self._lookahead_hop(links, dst, online if filter_links else None, visited)
+                nxt = self._lookahead_hop(links, dst, filter_mask, visited)
                 if nxt is not None:
                     rule = "lookahead"
             if nxt is None:
@@ -168,19 +190,28 @@ class GreedyRouter:
 
     # -- hop selection -------------------------------------------------------
 
-    def _live_links(self, u: int, online: "np.ndarray | None") -> list[int]:
-        links = self.overlay.links(u)
+    def _live_links(self, u: int, online: "np.ndarray | None"):
+        """Links of ``u`` that are live under ``online``.
+
+        On the default path this is the table's cached frozenset view —
+        zero allocation per hop. All downstream consumers only iterate and
+        membership-test, and every hop choice is resolved by a total order
+        (smallest distance, then smallest id), so the view's iteration
+        order cannot affect routing results.
+        """
+        links = self.overlay.tables[u].link_view()
         if online is None:
-            return list(links)
+            return links
         return [w for w in links if online[w]]
 
     def _lookahead_hop(self, links, dst, online, visited) -> "int | None":
         """A link whose own links contain ``dst`` (2-hop delivery)."""
         best = None
+        tables = self.overlay.tables
         for w in links:
             if w in visited:
                 continue
-            if dst in self.overlay.links(w):
+            if dst in tables[w].link_view():
                 if online is not None and not online[w]:
                     continue
                 # Prefer the lexicographically smallest for determinism.
@@ -203,9 +234,26 @@ class GreedyRouter:
 
     # -- batch helper ----------------------------------------------------------
 
-    def route_many(self, pairs, online: "np.ndarray | None" = None) -> list[RouteResult]:
-        """Route a batch of ``(src, dst)`` pairs."""
-        return [self.route(int(s), int(d), online=online) for s, d in pairs]
+    def route_many(
+        self,
+        pairs,
+        online: "np.ndarray | None" = None,
+        detect_failures: bool = True,
+    ) -> list[RouteResult]:
+        """Route a batch of ``(src, dst)`` pairs.
+
+        Full parameter parity with :meth:`route` — ``detect_failures``
+        selects blind-forward mode exactly as it does for single routes,
+        and ``record_decisions`` tracing applies to every route of the
+        batch. When liveness filtering is active the per-node live-link
+        lists are computed once and shared across the whole batch (the
+        online mask is constant for its duration).
+        """
+        live_cache: "dict[int, list[int]] | None" = (
+            {} if online is not None and detect_failures else None
+        )
+        route = self._route
+        return [route(int(s), int(d), online, detect_failures, live_cache) for s, d in pairs]
 
 
 def require_delivery(result: RouteResult, src: int, dst: int) -> RouteResult:

@@ -24,18 +24,35 @@ def social_strength(graph: SocialGraph, p: int, u: int) -> float:
 
 
 def strength_vector(graph: SocialGraph, p: int, candidates=None) -> np.ndarray:
-    """Strength of ``p`` toward each candidate (default: all of ``C_p``)."""
-    cp = graph.neighbor_set(p)
+    """Strength of ``p`` toward each candidate (default: all of ``C_p``).
+
+    Vectorized over the graph's precomputed sorted-neighbor arrays: the
+    candidates' adjacency arrays are concatenated, membership in ``C_p``
+    is resolved with one :func:`numpy.searchsorted` pass, and per-candidate
+    mutual counts fall out of a cumulative-sum segment reduction — no
+    per-candidate Python set intersection.
+    """
+    cp = graph.neighbors(p)  # sorted int64 array
     if candidates is None:
-        candidates = graph.neighbors(p)
+        candidates = cp
     candidates = np.asarray(candidates, dtype=np.int64)
-    if not cp:
-        return np.zeros(len(candidates), dtype=np.float64)
-    inv = 1.0 / len(cp)
-    out = np.empty(len(candidates), dtype=np.float64)
-    for i, u in enumerate(candidates):
-        out[i] = len(cp & graph.neighbor_set(int(u))) * inv
-    return out
+    if cp.size == 0 or candidates.size == 0:
+        return np.zeros(candidates.size, dtype=np.float64)
+    neigh = [graph.neighbors(int(u)) for u in candidates]
+    sizes = np.fromiter((a.size for a in neigh), dtype=np.int64, count=candidates.size)
+    flat = np.concatenate(neigh) if sizes.sum() else np.empty(0, dtype=np.int64)
+    if flat.size == 0:
+        return np.zeros(candidates.size, dtype=np.float64)
+    idx = np.searchsorted(cp, flat)
+    # Clamp the one-past-the-end slot; those values exceed cp's maximum,
+    # so the equality check below can never falsely match cp[0].
+    idx[idx == cp.size] = 0
+    hits = cp[idx] == flat
+    bounds = np.zeros(candidates.size + 1, dtype=np.int64)
+    np.cumsum(sizes, out=bounds[1:])
+    cum = np.concatenate(([0], np.cumsum(hits)))
+    mutual = cum[bounds[1:]] - cum[bounds[:-1]]
+    return mutual / cp.size
 
 
 def strongest_friends(graph: SocialGraph, p: int, k: int = 2, among=None) -> np.ndarray:

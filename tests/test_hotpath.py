@@ -1,0 +1,280 @@
+"""Hot-path regression suite: link-view cache, batch routing, bugfix pins.
+
+Covers the PR 4 invariants:
+
+* the cached :meth:`RoutingTable.link_view` equals a fresh ``all_links()``
+  after arbitrary add/drop/rebind/ring-refresh sequences (property test),
+* ``disseminate`` orders subscribers by ring distance across the 0/1 seam,
+* ``route_many`` has full parameter parity with ``route`` (blind
+  forwarding, tracing),
+* bandwidth eviction counts as churn on the evicted peer,
+* the bench harness emits a schema-valid ``BENCH_hotpath.json`` whose
+  cached router is path-identical to the legacy (pre-cache) router.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SelectConfig
+from repro.core.select import SelectOverlay
+from repro.graphs.graph import SocialGraph
+from repro.idspace.space import ring_distance
+from repro.net.bandwidth import BandwidthModel
+from repro.overlay.base import OverlayNetwork, RoutingTable
+from repro.overlay.ring import ring_links
+from repro.overlay.routing import GreedyRouter
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _fresh_links(table: RoutingTable) -> set:
+    """Reference recomputation of the combined link set (pre-cache code)."""
+    out = set(table.long_links)
+    if table.predecessor is not None:
+        out.add(table.predecessor)
+    if table.successor is not None:
+        out.add(table.successor)
+    out.discard(table.owner)
+    return out
+
+
+# -- link-view cache ----------------------------------------------------------
+
+_OPS = st.lists(
+    st.tuples(st.sampled_from(["add_long", "drop_long", "raw_add", "raw_discard",
+                               "rebind", "update", "clear", "pred", "succ"]),
+              st.integers(min_value=0, max_value=9)),
+    min_size=0,
+    max_size=40,
+)
+
+
+class TestLinkViewCache:
+    @given(ops=_OPS)
+    @settings(max_examples=100)
+    def test_view_matches_fresh_after_arbitrary_ops(self, ops):
+        table = RoutingTable(0, max_long=4)
+        for op, arg in ops:
+            if op == "add_long":
+                table.add_long(arg)
+            elif op == "drop_long":
+                table.drop_long(arg)
+            elif op == "raw_add" and len(table.long_links) < 8:
+                table.long_links.add(arg)
+            elif op == "raw_discard":
+                table.long_links.discard(arg)
+            elif op == "rebind":
+                table.long_links = {arg, arg + 1}
+            elif op == "update":
+                table.long_links.update({arg, (arg + 3) % 10})
+            elif op == "clear":
+                table.long_links.clear()
+            elif op == "pred":
+                table.predecessor = arg if arg else None
+            elif op == "succ":
+                table.successor = arg if arg else None
+            assert table.link_view() == _fresh_links(table)
+            assert table.all_links() == set(table.link_view())
+
+    def test_all_links_returns_mutable_copy(self):
+        table = RoutingTable(0, max_long=2)
+        table.add_long(1)
+        copy = table.all_links()
+        copy.add(99)
+        assert 99 not in table.link_view()
+
+    def test_rebound_set_keeps_invalidating(self):
+        # clustered/omen baselines assign ``long_links = set(...)`` wholesale;
+        # later in-place mutations of the rebound set must still invalidate.
+        table = RoutingTable(0, max_long=4)
+        table.long_links = {1, 2}
+        assert table.link_view() == {1, 2}
+        table.long_links.add(3)
+        assert table.link_view() == {1, 2, 3}
+
+    def test_ring_refresh_invalidates_on_built_overlay(self, small_graph):
+        overlay = SelectOverlay(small_graph, config=SelectConfig(max_rounds=6)).build(seed=3)
+        for v in range(small_graph.num_nodes):
+            assert overlay.tables[v].link_view() == _fresh_links(overlay.tables[v])
+        # Force a ring change and re-check: _refresh_ring goes through the
+        # predecessor/successor setters, so views must track it.
+        overlay.ids[:] = np.roll(overlay.ids, 1)
+        overlay._refresh_ring()
+        for v in range(small_graph.num_nodes):
+            assert overlay.tables[v].link_view() == _fresh_links(overlay.tables[v])
+
+
+# -- seam-wrap dissemination ordering ----------------------------------------
+
+
+class _FixedIdOverlay(OverlayNetwork):
+    """Overlay with externally chosen identifiers (ring links only)."""
+
+    name = "fixed"
+
+    def __init__(self, graph, ids):
+        super().__init__(graph, k_links=2)
+        self._fixed_ids = np.asarray(ids, dtype=np.float64)
+
+    def build(self, seed=None):
+        self.ids = self._fixed_ids
+        for v, (pred, succ) in enumerate(ring_links(self.ids)):
+            self.tables[v].predecessor = pred
+            self.tables[v].successor = succ
+        self._mark_built()
+        return self
+
+
+class TestSeamDissemination:
+    def test_orders_by_ring_distance_across_wrap(self):
+        n = 4
+        graph = SocialGraph(n, [(i, (i + 1) % n) for i in range(n)])
+        # Publisher 0 sits at 0.98; subscriber 1 is just across the 0/1
+        # seam (ring distance 0.04), subscriber 2 is half a ring away.
+        overlay = _FixedIdOverlay(graph, [0.98, 0.02, 0.50, 0.75]).build()
+        router = overlay.make_router(lookahead=False)
+        routes = overlay.disseminate(0, [2, 1], router)
+        assert list(routes) == [1, 2]  # |0.02-0.98|=0.96 would order 2 first
+        d1 = ring_distance(0.02, 0.98)
+        d2 = ring_distance(0.50, 0.98)
+        assert d1 < d2  # the ordering key the fix pins
+
+    def test_tie_breaks_by_node_id(self):
+        n = 4
+        graph = SocialGraph(n, [(i, (i + 1) % n) for i in range(n)])
+        # 1 and 3 are equidistant from publisher 0 (0.1 each side).
+        overlay = _FixedIdOverlay(graph, [0.5, 0.6, 0.9, 0.4]).build()
+        router = overlay.make_router(lookahead=False)
+        routes = overlay.disseminate(0, [3, 1], router)
+        assert list(routes) == [1, 3]
+
+
+# -- route_many parity --------------------------------------------------------
+
+
+@pytest.fixture()
+def line_overlay():
+    n = 10
+    graph = SocialGraph(n, [(i, (i + 1) % n) for i in range(n)])
+    overlay = _FixedIdOverlay(graph, np.arange(n) / n).build()
+    overlay.tables[0].long_links.add(5)
+    return overlay
+
+
+class TestRouteManyParity:
+    def test_blind_forwarding_threads_through(self, line_overlay):
+        online = np.ones(10, dtype=bool)
+        online[1] = False
+        router = GreedyRouter(line_overlay, lookahead=False)
+        pairs = [(0, 2), (0, 5), (3, 8), (9, 2)]
+        batch = router.route_many(pairs, online=online, detect_failures=False)
+        singles = [router.route(s, d, online=online, detect_failures=False) for s, d in pairs]
+        for got, want in zip(batch, singles):
+            assert got.path == want.path
+            assert got.delivered == want.delivered
+        # The 0->2 message must die in offline peer 1's hands (blind mode).
+        assert not batch[0].delivered
+        assert batch[0].path[-1] == 1
+
+    def test_detection_mode_parity_with_live_cache(self, line_overlay):
+        online = np.ones(10, dtype=bool)
+        online[1] = False
+        for lookahead in (False, True):
+            router = GreedyRouter(line_overlay, lookahead=lookahead)
+            pairs = [(0, 2), (0, 5), (2, 9), (7, 3)]
+            batch = router.route_many(pairs, online=online, detect_failures=True)
+            singles = [router.route(s, d, online=online) for s, d in pairs]
+            for got, want in zip(batch, singles):
+                assert got.path == want.path
+                assert got.delivered == want.delivered
+
+    def test_tracing_parity(self, line_overlay):
+        router = GreedyRouter(line_overlay, lookahead=True)
+        router.record_decisions = True
+        pairs = [(0, 7), (2, 5)]
+        batch = router.route_many(pairs)
+        singles = [router.route(s, d) for s, d in pairs]
+        for got, want in zip(batch, singles):
+            assert got.decisions is not None
+            assert got.decisions == want.decisions
+
+
+# -- eviction-counted churn ---------------------------------------------------
+
+
+class TestEvictionChurn:
+    def _overlay(self, tiny_graph):
+        bw = BandwidthModel(tiny_graph.num_nodes, seed=0)
+        overlay = SelectOverlay(tiny_graph, k_links=1, config=SelectConfig(), bandwidth=bw)
+        overlay.upload_mbps = np.array([1.0, 5.0, 10.0, 2.0, 3.0, 4.0])
+        return overlay
+
+    def test_eviction_resets_stability_and_counts_churn(self, tiny_graph):
+        overlay = self._overlay(tiny_graph)
+        assert overlay._try_connect(1, 0)  # fills node 0's single slot
+        overlay.tables[1].long_links.add(0)
+        overlay.peers[1].stable_rounds = 7
+        baseline = overlay.round_link_changes
+        assert overlay._try_connect(2, 0)  # 2 is faster -> evicts 1
+        assert 0 not in overlay.tables[1].long_links
+        assert overlay.peers[1].stable_rounds == 0
+        assert overlay.round_link_changes == baseline + 1
+        assert overlay._incoming_sources[0] == {2}
+
+    def test_rejected_connect_counts_nothing(self, tiny_graph):
+        overlay = self._overlay(tiny_graph)
+        assert overlay._try_connect(2, 0)
+        overlay.tables[2].long_links.add(0)
+        overlay.peers[2].stable_rounds = 7
+        baseline = overlay.round_link_changes
+        assert not overlay._try_connect(1, 0)  # 1 is slower -> refused
+        assert overlay.peers[2].stable_rounds == 7
+        assert overlay.round_link_changes == baseline
+
+
+# -- bench harness ------------------------------------------------------------
+
+
+def _load_bench_module():
+    path = REPO_ROOT / "benchmarks" / "bench_hotpath.py"
+    spec = importlib.util.spec_from_file_location("bench_hotpath", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBenchHotpath:
+    def test_run_emits_valid_schema_and_identical_paths(self):
+        bench = _load_bench_module()
+        # run_bench raises if cached and legacy routers diverge on any
+        # route, so this doubles as the bit-identical routing pin.
+        report = bench.run_bench(num_nodes=80, routes=120, seed=5, dataset="facebook", max_rounds=4)
+        assert bench.validate_report(report) == []
+        assert report["metrics"]["routes_per_sec_lookahead"] > 0
+        assert 0.0 <= report["metrics"]["delivered_fraction_lookahead"] <= 1.0
+
+    def test_validator_flags_missing_metric(self):
+        bench = _load_bench_module()
+        report = bench.run_bench(num_nodes=60, routes=40, seed=5, dataset="facebook", max_rounds=3)
+        del report["metrics"]["speedup_lookahead"]
+        report["schema"] = "bogus/v0"
+        problems = bench.validate_report(report)
+        assert any("schema" in p for p in problems)
+        assert any("speedup_lookahead" in p for p in problems)
+
+    def test_committed_baseline_is_valid(self):
+        bench = _load_bench_module()
+        path = REPO_ROOT / "benchmarks" / "BENCH_hotpath.json"
+        with open(path, encoding="utf-8") as fh:
+            report = json.load(fh)
+        assert bench.validate_report(report) == []
+        # The acceptance bar this PR records: >= 2x on the default
+        # (lookahead) routing path at ~2k nodes vs the legacy router.
+        assert report["config"]["num_nodes"] >= 1500
+        assert report["metrics"]["speedup_lookahead"] >= 2.0

@@ -45,6 +45,40 @@ class TestStrengthVector:
         vec = strength_vector(tiny_graph, 3)
         assert len(vec) == tiny_graph.degree(3)
 
+    def test_non_neighbor_candidates(self, tiny_graph):
+        # Candidates need not be friends of p; Eq. 2 is defined for any u.
+        vec = strength_vector(tiny_graph, 0, [4, 5, 3])
+        for value, u in zip(vec, [4, 5, 3]):
+            assert value == pytest.approx(social_strength(tiny_graph, 0, u))
+
+    def test_empty_candidates(self, tiny_graph):
+        vec = strength_vector(tiny_graph, 0, [])
+        assert vec.size == 0 and vec.dtype == np.float64
+
+    def test_isolated_peer_all_zero(self):
+        from repro.graphs.graph import SocialGraph
+
+        graph = SocialGraph(3, [(0, 1)])  # node 2 has no friends
+        assert strength_vector(graph, 2, [0, 1]).tolist() == [0.0, 0.0]
+        assert strength_vector(graph, 0, [2]).tolist() == [0.0]
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_vectorized_matches_scalar_on_random_graphs(self, seed):
+        from repro.graphs.graph import SocialGraph
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 30))
+        possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        count = int(rng.integers(0, len(possible) + 1))
+        chosen = rng.choice(len(possible), size=count, replace=False)
+        graph = SocialGraph(n, [possible[i] for i in chosen])
+        p = int(rng.integers(n))
+        candidates = rng.integers(0, n, size=int(rng.integers(0, 12)))
+        vec = strength_vector(graph, p, candidates)
+        for value, u in zip(vec, candidates):
+            assert value == pytest.approx(social_strength(graph, p, int(u)))
+
 
 class TestStrongestFriends:
     def test_top_two_deterministic(self, tiny_graph):
