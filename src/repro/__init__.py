@@ -25,6 +25,9 @@ Packages:
 * :mod:`repro.telemetry` — metrics registry, per-message route tracing,
   Prometheus/JSON exporters and run reports (opt-in; the default
   :class:`~repro.telemetry.NullRegistry` is zero-overhead).
+* :mod:`repro.persist` — versioned checkpoint/restore of live overlay
+  state plus deterministic replay (a resumed run is bit-identical to an
+  uninterrupted one).
 """
 
 from repro.core.config import SelectConfig
@@ -37,6 +40,12 @@ from repro.graphs.datasets import available_datasets, load_dataset
 from repro.graphs.graph import SocialGraph
 from repro.net.faults import FaultPlan, PingService, RingPartition
 from repro.pubsub.api import PubSubSystem
+from repro.persist import (
+    capture as capture_snapshot,
+    load as load_snapshot,
+    restore as restore_snapshot,
+    save as save_snapshot,
+)
 from repro.experiments.common import ExperimentConfig
 from repro.telemetry import (
     MetricsRegistry,
@@ -71,6 +80,10 @@ __all__ = [
     "RingPartition",
     "FaultInjectionError",
     "PartitionError",
+    "capture_snapshot",
+    "load_snapshot",
+    "restore_snapshot",
+    "save_snapshot",
     "MetricsRegistry",
     "NullRegistry",
     "RouteTracer",

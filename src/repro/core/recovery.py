@@ -95,7 +95,11 @@ class RecoveryManager:
             if not self.pings.truth(v):  # a peer knows its own liveness
                 continue
             peer = ov.peers[v]
-            for contact in list(peer.table.long_links):
+            # Sorted, not set order: probe order decides how the fault
+            # plan's RNG stream is consumed, and set iteration order
+            # depends on insertion history a snapshot restore cannot
+            # reproduce. A total order keeps resumed runs bit-identical.
+            for contact in sorted(peer.table.long_links):
                 result = self.pings.probe(v, contact)
                 peer.behavior.observe(contact, result.responded)
                 if result.responded:

@@ -240,6 +240,32 @@ class SelectOverlay(OverlayNetwork):
         self.round_link_changes = 0
         return self._quiet_rounds >= self.config.convergence_rounds
 
+    # -- persistence ------------------------------------------------------------
+
+    def snapshot(self, include_graph: bool = True) -> dict:
+        """Capture this overlay's full live state (``repro.persist``).
+
+        Returns the versioned ``{"manifest", "state"}`` snapshot dict;
+        feed it to :func:`repro.persist.save` to persist on disk or to
+        :meth:`restore_snapshot`/:func:`repro.persist.restore` to
+        rebuild. Component state (fault plans, stabilizer, catch-up)
+        lives outside the overlay — capture it with
+        :func:`repro.persist.capture` directly.
+        """
+        from repro.persist.snapshot import capture
+
+        return capture(self, include_graph=include_graph)
+
+    def restore_snapshot(self, snapshot: dict) -> "SelectOverlay":
+        """Overwrite this overlay's state from a snapshot (returns self).
+
+        The overlay must wrap the same social graph (checked by
+        fingerprint) with the same ``k_links``.
+        """
+        from repro.persist.snapshot import restore_into
+
+        return restore_into(snapshot, self)
+
     # -- connection admission (K incoming cap, §III-D) ---------------------------
 
     def _try_connect(self, src: int, dst: int) -> bool:

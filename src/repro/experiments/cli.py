@@ -5,6 +5,11 @@ runs every experiment in paper order. ``--telemetry DIR`` installs a
 process-wide metrics registry and route tracer for the run and writes
 ``metrics.prom`` / ``report.json`` / ``traces.jsonl`` into ``DIR``;
 ``select-repro report DIR`` renders that directory back as text.
+
+``select-repro snapshot DIR`` builds one converged SELECT overlay and
+saves it as a ``select-repro/snapshot/v1`` directory; ``--resume DIR``
+hands the saved snapshot to experiments that can warm-start from it
+(``warmstart``) and stamps its id into the telemetry provenance block.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from repro.experiments import (
     geo,
     stabilize,
     table2,
+    warmstart,
 )
 from repro.experiments.common import ExperimentConfig
 from repro.telemetry.registry import MetricsRegistry, set_registry
@@ -49,6 +55,7 @@ EXPERIMENTS = {
     "fig8": fig8_ids,
     "geo": geo,
     "stabilize": stabilize,
+    "warmstart": warmstart,
 }
 
 
@@ -64,15 +71,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "report"],
-        help="which artifact to regenerate, or 'report' to render a telemetry dir",
+        choices=sorted(EXPERIMENTS) + ["all", "report", "snapshot"],
+        help="which artifact to regenerate, 'report' to render a telemetry dir, "
+        "or 'snapshot' to save a converged overlay",
     )
     parser.add_argument(
         "dir",
         nargs="?",
         default=None,
         metavar="DIR",
-        help="telemetry directory (only with the 'report' subcommand)",
+        help="telemetry directory ('report') or snapshot directory ('snapshot')",
     )
     parser.add_argument("--preset", default="quick", choices=["quick", "default", "full"])
     parser.add_argument("--num-nodes", type=int, default=None, help="override graph size")
@@ -100,6 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="collect metrics + per-message route traces and write them into DIR",
     )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="warm-start from a snapshot directory saved by 'select-repro snapshot'",
+    )
     return parser
 
 
@@ -116,6 +130,8 @@ def config_from_args(args) -> ExperimentConfig:
         overrides["datasets"] = tuple(s.strip() for s in args.datasets.split(",") if s.strip())
     if args.systems:
         overrides["systems"] = tuple(s.strip() for s in args.systems.split(",") if s.strip())
+    if getattr(args, "resume", None):
+        overrides["resume_from"] = args.resume
     return config.with_(**overrides) if overrides else config
 
 
@@ -129,11 +145,43 @@ def _run_report(args) -> int:
     return 0
 
 
+def _run_snapshot(args, config: ExperimentConfig) -> int:
+    """Build one converged SELECT overlay and save it as a snapshot dir."""
+    from repro.experiments.common import build_system, dataset_graph
+    from repro.persist import save
+
+    if not args.dir:
+        print("usage: select-repro snapshot SNAPSHOT_DIR", file=sys.stderr)
+        return 2
+    dataset = config.datasets[0]
+    graph = dataset_graph(config, dataset, 0)
+    overlay = build_system(config, "select", graph, 0)
+    snapshot = overlay.snapshot()
+    save(snapshot, args.dir)
+    manifest = snapshot["manifest"]
+    print(
+        f"snapshot {manifest['snapshot_id']} written to {args.dir}: "
+        f"{dataset} n={graph.num_nodes}, converged at round {manifest['round']}"
+    )
+    return 0
+
+
+def _resume_snapshot_id(config: ExperimentConfig) -> "str | None":
+    """Manifest id of the snapshot the run resumes from (None when cold)."""
+    if not config.resume_from:
+        return None
+    from repro.persist import load
+
+    return load(config.resume_from)["manifest"]["snapshot_id"]
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "report":
         return _run_report(args)
     config = config_from_args(args)
+    if args.experiment == "snapshot":
+        return _run_snapshot(args, config)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     # The CLI always times phases through a real registry (perf_counter
     # underneath); only --telemetry installs it process-wide so the
@@ -163,7 +211,14 @@ def main(argv=None) -> int:
                 "num_nodes": config.num_nodes,
                 "trials": config.trials,
             }
-            paths = write_telemetry(args.telemetry, registry, tracer=tracer, meta=meta)
+            provenance = {
+                "root_seed": config.seed,
+                "config_hash": config.digest(),
+                "snapshot_id": _resume_snapshot_id(config),
+            }
+            paths = write_telemetry(
+                args.telemetry, registry, tracer=tracer, meta=meta, provenance=provenance
+            )
             print(f"[telemetry written to {args.telemetry}: "
                   f"{', '.join(sorted(paths))}]", file=sys.stderr)
     finally:

@@ -11,7 +11,7 @@ graphs. Presets:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -36,6 +36,10 @@ class ExperimentConfig:
     lookups: int = 200
     publishers: int = 20
     k_links: "int | None" = None  # None = log2(N), the paper's default
+    #: path to a saved snapshot directory; experiments that support
+    #: warm-starting restore the converged overlay from here instead of
+    #: re-converging (see :mod:`repro.experiments.warmstart`).
+    resume_from: "str | None" = None
 
     def __post_init__(self):
         if self.num_nodes < 16:
@@ -80,6 +84,24 @@ class ExperimentConfig:
     def with_(self, **kwargs) -> "ExperimentConfig":
         """Copy with overrides."""
         return replace(self, **kwargs)
+
+    def digest(self) -> str:
+        """Short content hash of this configuration.
+
+        Stamped into telemetry provenance blocks so a report can be
+        matched to the exact configuration (and snapshot) it came from.
+        ``resume_from`` is excluded: it points at an input, it does not
+        change what the configuration *is*.
+        """
+        import hashlib
+        import json
+        from dataclasses import asdict
+
+        payload = asdict(self)
+        payload.pop("resume_from", None)
+        payload = {k: list(v) if isinstance(v, tuple) else v for k, v in payload.items()}
+        canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
 
 
 def dataset_graph(config: ExperimentConfig, dataset: str, trial: int, num_nodes: "int | None" = None) -> SocialGraph:

@@ -14,7 +14,8 @@ latencies — the closest in-process analogue of the paper's ten-hour
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import asdict, dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -23,13 +24,13 @@ from repro.net.bandwidth import BandwidthModel
 from repro.net.churn import ChurnModel, ChurnSchedule
 from repro.net.faults import FaultPlan
 from repro.net.transfer import DEFAULT_PAYLOAD_MB, tree_dissemination_time
-from repro.net.workload import PublishWorkload
+from repro.net.workload import PublishEvent, PublishWorkload
 from repro.overlay.base import OverlayNetwork
 from repro.pubsub.api import PubSubSystem
 from repro.sim.events import EventQueue
 from repro.sim.trace import TraceRecorder
 from repro.telemetry.registry import get_registry
-from repro.util.exceptions import ConfigurationError
+from repro.util.exceptions import ConfigurationError, PersistError
 
 __all__ = ["NotificationRecord", "SimulationReport", "NotificationSimulator"]
 
@@ -152,6 +153,9 @@ class NotificationSimulator:
         catchup=None,
         recorder: "TraceRecorder | None" = None,
         registry=None,
+        snapshot_every: "int | None" = None,
+        snapshot_dir: "str | None" = None,
+        resume_from=None,
     ):
         if maintenance_period <= 0:
             raise ConfigurationError(
@@ -159,6 +163,8 @@ class NotificationSimulator:
             )
         if payload_mb <= 0:
             raise ConfigurationError(f"payload_mb must be positive, got {payload_mb}")
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ConfigurationError(f"snapshot_every must be >= 1, got {snapshot_every}")
         self.overlay = overlay
         self.faults = faults
         #: optional :class:`~repro.core.stabilize.Stabilizer`, run at every
@@ -185,6 +191,20 @@ class NotificationSimulator:
         #: records live-peer count and catch-up occupancy, and every
         #: notification its delivery outcome, exportable as JSONL.
         self.recorder = recorder
+        #: every this many maintenance ticks, capture a full checkpoint of
+        #: the run (overlay + components + pending events). Checkpoints
+        #: accumulate in :attr:`snapshots`; with ``snapshot_dir`` each is
+        #: also written to ``<dir>/tick-<index>`` on disk. Requires a
+        #: SELECT overlay (the persist layer serializes its gossip state).
+        self.snapshot_every = snapshot_every
+        self.snapshot_dir = snapshot_dir
+        #: a snapshot dict (or a path to a saved snapshot directory) to
+        #: resume from; :meth:`run` then continues the checkpointed run
+        #: instead of starting at t=0, and the returned report is
+        #: bit-identical to the uninterrupted run's.
+        self.resume_from = resume_from
+        #: snapshots captured by this simulator, in tick order.
+        self.snapshots: list[dict] = []
         self.registry = registry if registry is not None else get_registry()
         self._run_timer = self.registry.timer("sim.run")
         self._m_publishes = self.registry.counter(
@@ -194,6 +214,9 @@ class NotificationSimulator:
             "sim.maintenance_ticks", "maintenance ticks executed"
         )
         self._tick_index = 0
+        self._horizon = 0.0
+        self._events: list[PublishEvent] = []
+        self._baselines: tuple = (0, 0, None)
 
     # -- liveness ----------------------------------------------------------
 
@@ -205,28 +228,22 @@ class NotificationSimulator:
     # -- main loop -----------------------------------------------------------
 
     def run(self, horizon: float) -> SimulationReport:
-        """Simulate ``[0, horizon)`` seconds; returns the event log."""
+        """Simulate ``[0, horizon)`` seconds; returns the event log.
+
+        With :attr:`resume_from` set, the run continues the checkpointed
+        simulation from its snapshot instant instead of starting at t=0;
+        the returned report is bit-identical to the uninterrupted run's
+        (the horizon must match the original run's).
+        """
         if horizon <= 0:
             raise ConfigurationError(f"horizon must be positive, got {horizon}")
-        if self.churn is not None:
-            self._schedules = self.churn.schedules(horizon)
-        queue = EventQueue()
-        for event in self.workload.events_until(horizon):
-            queue.schedule_at(event.time, "publish", event)
-        t = self.maintenance_period
-        while t < horizon:
-            queue.schedule_at(t, "maintain", None)
-            t += self.maintenance_period
-        report = SimulationReport()
-        evictions_before = getattr(self._repair_owner, "false_evictions", 0)
-        # Whichever stabilizer runs — ours or one embedded in the repair
-        # hook — its round counter feeds the report by delta.
-        stab = self.stabilizer or getattr(self._repair_owner, "stabilizer", None)
-        stab_rounds_before = stab.stats.rounds if stab is not None else 0
-        catchup_stats_before = (
-            self.catchup.stats.as_dict() if self.catchup is not None else None
-        )
-        self._tick_index = 0
+        self._horizon = float(horizon)
+        if self.resume_from is not None:
+            queue, report = self._prepare_resume(horizon)
+        else:
+            queue, report = self._prepare_fresh(horizon)
+        evictions_before, stab_rounds_before, catchup_stats_before = self._baselines
+        stab = self._stabilizer_in_play()
         with self._run_timer:
             queue.run_until(horizon, lambda e: self._handle(e, report))
         report.false_evictions = (
@@ -241,6 +258,158 @@ class NotificationSimulator:
         if self.faults is not None:
             report.partition_heal_times = self._partition_heal_times(report, horizon)
         return report
+
+    def _stabilizer_in_play(self):
+        # Whichever stabilizer runs — ours or one embedded in the repair
+        # hook — its round counter feeds the report by delta.
+        return self.stabilizer or getattr(self._repair_owner, "stabilizer", None)
+
+    def _prepare_fresh(self, horizon: float) -> "tuple[EventQueue, SimulationReport]":
+        if self.churn is not None:
+            self._schedules = self.churn.schedules(horizon)
+        self._events = self.workload.events_until(horizon)
+        queue = EventQueue()
+        for event in self._events:
+            queue.schedule_at(event.time, "publish", event)
+        t = self.maintenance_period
+        while t < horizon:
+            queue.schedule_at(t, "maintain", None)
+            t += self.maintenance_period
+        stab = self._stabilizer_in_play()
+        self._baselines = (
+            getattr(self._repair_owner, "false_evictions", 0),
+            stab.stats.rounds if stab is not None else 0,
+            self.catchup.stats.as_dict() if self.catchup is not None else None,
+        )
+        self._tick_index = 0
+        return queue, SimulationReport()
+
+    # -- checkpoint / resume ----------------------------------------------------
+
+    def _prepare_resume(self, horizon: float) -> "tuple[EventQueue, SimulationReport]":
+        from repro.persist.snapshot import load, restore_into
+
+        snapshot = self.resume_from
+        if not isinstance(snapshot, dict):
+            snapshot = load(str(snapshot))
+        state = snapshot.get("state", {})
+        sim = state.get("sim")
+        if sim is None:
+            raise PersistError(
+                "cannot resume: snapshot carries no simulator state (it was "
+                "captured outside a run; use snapshot_every= to checkpoint runs)"
+            )
+        if float(sim["horizon"]) != float(horizon):
+            raise PersistError(
+                f"cannot resume: snapshot belongs to a horizon={sim['horizon']} run, "
+                f"resume asked for horizon={horizon}"
+            )
+        recovery = (
+            self._repair_owner
+            if hasattr(self._repair_owner, "false_evictions")
+            else None
+        )
+        restore_into(
+            snapshot,
+            self.overlay,
+            faults=self.faults,
+            stabilizer=self._stabilizer_in_play(),
+            recovery=recovery,
+            catchup=self.catchup,
+        )
+        start_time = float(sim["time"])
+        if sim["schedules"] is None:
+            self._schedules = None
+        else:
+            self._schedules = [
+                ChurnSchedule(np.asarray(bounds, dtype=np.float64), bool(init))
+                for bounds, init in sim["schedules"]
+            ]
+        self._events = [
+            PublishEvent(time=float(t), publisher=int(p), message_id=int(m))
+            for t, p, m in sim["events"]
+        ]
+        queue = EventQueue()
+        for event in self._events:
+            queue.schedule_at(event.time, "publish", event)
+        # Regenerate the maintain ticks with the same float accumulation
+        # the original run used: computing k * period instead can land a
+        # late tick one ulp away from the accumulated sum, firing it at a
+        # different instant than the uninterrupted run.
+        t = self.maintenance_period
+        while t < horizon:
+            if t > start_time:
+                queue.schedule_at(t, "maintain", None)
+            t += self.maintenance_period
+        report = SimulationReport()
+        report.records = [NotificationRecord(**r) for r in sim["records"]]
+        report.maintenance_ticks = int(sim["maintenance_ticks"])
+        report.catchup_recovered = int(sim["catchup_recovered"])
+        base = sim["baselines"]
+        self._baselines = (
+            int(base["false_evictions"]),
+            int(base["stabilize_rounds"]),
+            dict(base["catchup"]) if base["catchup"] is not None else None,
+        )
+        self._tick_index = int(sim["tick_index"])
+        if self.recorder is not None and sim.get("recorder"):
+            for row in sim["recorder"]:
+                self.recorder.record(row["series"], row["round"], row["value"])
+        return queue, report
+
+    def _capture_checkpoint(self, now: float, report: SimulationReport) -> dict:
+        from repro.persist.snapshot import capture, save
+
+        evictions_before, stab_rounds_before, catchup_before = self._baselines
+        sim = {
+            "time": float(now),
+            "tick_index": int(self._tick_index),
+            "horizon": float(self._horizon),
+            "maintenance_period": float(self.maintenance_period),
+            "payload_mb": float(self.payload_mb),
+            # Events strictly after `now` are exactly the unprocessed set:
+            # the queue pops equal-time publishes before the maintain tick
+            # doing this capture (publishes are scheduled first).
+            "events": [
+                [float(e.time), int(e.publisher), int(e.message_id)]
+                for e in self._events
+                if e.time > now
+            ],
+            "schedules": (
+                None
+                if self._schedules is None
+                else [
+                    [[float(b) for b in s.boundaries], bool(s.initially_online)]
+                    for s in self._schedules
+                ]
+            ),
+            "records": [asdict(r) for r in report.records],
+            "maintenance_ticks": int(report.maintenance_ticks),
+            "catchup_recovered": int(report.catchup_recovered),
+            "baselines": {
+                "false_evictions": int(evictions_before),
+                "stabilize_rounds": int(stab_rounds_before),
+                "catchup": catchup_before,
+            },
+            "recorder": None if self.recorder is None else self.recorder.to_rows(),
+        }
+        recovery = (
+            self._repair_owner
+            if hasattr(self._repair_owner, "false_evictions")
+            else None
+        )
+        snap = capture(
+            self.overlay,
+            faults=self.faults,
+            stabilizer=self._stabilizer_in_play(),
+            recovery=recovery,
+            catchup=self.catchup,
+            sim=sim,
+        )
+        self.snapshots.append(snap)
+        if self.snapshot_dir is not None:
+            save(snap, os.path.join(self.snapshot_dir, f"tick-{self._tick_index:05d}"))
+        return snap
 
     def _partition_heal_times(self, report: SimulationReport, horizon: float) -> list[float]:
         """Healing delay per injected partition that ends inside the run.
@@ -287,6 +456,11 @@ class NotificationSimulator:
                 if self.catchup is not None:
                     self.recorder.record("sim.catchup_pending", tick, self.catchup.pending())
                 self.recorder.record("sim.notifications", tick, len(report.records))
+            if (
+                self.snapshot_every is not None
+                and self._tick_index % self.snapshot_every == 0
+            ):
+                self._capture_checkpoint(event.time, report)
             return
         if event.kind != "publish":  # pragma: no cover - future event kinds
             return

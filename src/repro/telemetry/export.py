@@ -125,12 +125,16 @@ def write_telemetry(
     tracer=None,
     recorder=None,
     meta: "dict | None" = None,
+    provenance: "dict | None" = None,
 ) -> dict:
     """Write the full telemetry directory; returns ``{kind: path}``.
 
     ``tracer`` is an optional :class:`~repro.telemetry.tracer.RouteTracer`
     and ``recorder`` an optional :class:`~repro.sim.trace.TraceRecorder`;
-    their files are only written when present.
+    their files are only written when present. ``provenance`` fills the
+    report's cross-reference block — root seed, configuration hash, and
+    the id of the snapshot the run resumed from (if any); unknown fields
+    stay ``null`` so the block is always present and schema-checkable.
     """
     os.makedirs(out_dir, exist_ok=True)
     paths = {}
@@ -140,9 +144,12 @@ def write_telemetry(
         fh.write(prometheus_text(registry))
     paths["metrics"] = prom_path
 
+    prov = {"root_seed": None, "config_hash": None, "snapshot_id": None}
+    prov.update(provenance or {})
     report = {
         "schema": "select-repro/telemetry/v1",
         "meta": dict(meta or {}),
+        "provenance": prov,
         "metrics": registry_snapshot(registry),
     }
     if tracer is not None:

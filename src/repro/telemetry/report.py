@@ -112,6 +112,13 @@ def render_report(telemetry_dir: str) -> str:
     lines.append(title)
     lines.append("=" * len(title))
 
+    provenance = report.get("provenance") or {}
+    known = {k: v for k, v in sorted(provenance.items()) if v is not None}
+    if known:
+        lines.append(
+            "Provenance: " + ", ".join(f"{k}={v}" for k, v in known.items())
+        )
+
     phase_rows = _phase_rows(metrics.get("histograms", {}))
     if phase_rows:
         lines.append("")

@@ -41,6 +41,13 @@ def _check_report(path: str, errors: list[str]) -> None:
         return
     if report.get("schema") != "select-repro/telemetry/v1":
         errors.append(f"{REPORT_FILE}: missing/unknown schema tag {report.get('schema')!r}")
+    provenance = report.get("provenance")
+    if not isinstance(provenance, dict):
+        errors.append(f"{REPORT_FILE}: 'provenance' must be an object")
+    else:
+        for key in ("root_seed", "config_hash", "snapshot_id"):
+            if key not in provenance:
+                errors.append(f"{REPORT_FILE}: provenance missing key {key!r}")
     metrics = report.get("metrics")
     if not isinstance(metrics, dict):
         errors.append(f"{REPORT_FILE}: 'metrics' must be an object")

@@ -34,3 +34,7 @@ class PartitionError(FaultInjectionError):
 
 class RoutingError(ReproError):
     """A routing operation could not complete (e.g. unreachable target)."""
+
+
+class PersistError(ReproError):
+    """A snapshot could not be captured, validated, loaded, or restored."""

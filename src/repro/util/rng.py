@@ -5,6 +5,11 @@ All stochastic behaviour in the library flows through
 child generators per trial so that (a) every trial is reproducible from a
 single root seed and (b) trials do not share state, which keeps results
 identical whether trials run serially or are farmed out to workers.
+
+:func:`generator_state` / :func:`restore_generator` capture and rebuild a
+generator's exact stream position as a JSON-serializable dict, which is
+what lets :mod:`repro.persist` snapshot a run mid-flight and resume it
+bit-identically.
 """
 
 from __future__ import annotations
@@ -13,7 +18,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["as_generator", "spawn_generators", "RngStream"]
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "generator_state",
+    "restore_generator",
+    "RngStream",
+]
 
 SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
 
@@ -21,14 +32,59 @@ SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
 def as_generator(seed: "int | np.random.Generator | np.random.SeedSequence | None") -> np.random.Generator:
     """Coerce ``seed`` into a :class:`numpy.random.Generator`.
 
-    Accepts an integer seed, an existing generator (returned unchanged), a
+    Accepts an existing generator (returned unchanged) or anything
+    :func:`numpy.random.default_rng` takes directly: an integer seed, a
     :class:`numpy.random.SeedSequence`, or ``None`` (fresh OS entropy).
     """
     if isinstance(seed, np.random.Generator):
         return seed
-    if isinstance(seed, np.random.SeedSequence):
-        return np.random.default_rng(seed)
     return np.random.default_rng(seed)
+
+
+def _jsonable(value):
+    """Recursively convert a bit-generator state dict to JSON-safe types."""
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": [int(x) for x in value], "dtype": str(value.dtype)}
+    if isinstance(value, np.integer):
+        return int(value)
+    return value
+
+
+def _from_jsonable(value):
+    """Inverse of :func:`_jsonable` (rebuilds ndarray members)."""
+    if isinstance(value, dict):
+        if "__ndarray__" in value:
+            return np.asarray(value["__ndarray__"], dtype=value["dtype"])
+        return {k: _from_jsonable(v) for k, v in value.items()}
+    return value
+
+
+def generator_state(gen: np.random.Generator) -> dict:
+    """JSON-serializable snapshot of ``gen``'s exact stream position.
+
+    The returned dict survives a ``json.dumps``/``loads`` round trip and
+    feeds :func:`restore_generator`, which rebuilds a generator that
+    produces the *identical* continuation of the stream.
+    """
+    return _jsonable(gen.bit_generator.state)
+
+
+def restore_generator(state: dict) -> np.random.Generator:
+    """Rebuild a :class:`numpy.random.Generator` from :func:`generator_state`.
+
+    The bit-generator class is looked up by the name recorded in the
+    state dict, so any numpy bit generator (PCG64, Philox, SFC64, ...)
+    round-trips.
+    """
+    name = state.get("bit_generator")
+    cls = getattr(np.random, str(name), None)
+    if cls is None or not isinstance(name, str):
+        raise ValueError(f"unknown bit generator in state: {name!r}")
+    bit_gen = cls()
+    bit_gen.state = _from_jsonable(state)
+    return np.random.Generator(bit_gen)
 
 
 def spawn_generators(seed: "int | np.random.SeedSequence | None", count: int) -> list[np.random.Generator]:

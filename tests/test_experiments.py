@@ -224,6 +224,7 @@ class TestCli:
         assert set(EXPERIMENTS) == {
             "table2", "ablation", "conn-sweep", "doctor", "faults", "geo",
             "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "stabilize",
+            "warmstart",
         }
 
     def test_parser_overrides(self):
@@ -242,3 +243,69 @@ class TestCli:
                    "--datasets", "facebook", "--trials", "1"])
         assert rc == 0
         assert "Table II" in capsys.readouterr().out
+
+    def test_config_digest_stable_and_resume_agnostic(self):
+        a, b = MICRO.digest(), MICRO.digest()
+        assert a == b and len(a) == 16
+        assert MICRO.with_(resume_from="/some/path").digest() == a
+        assert MICRO.with_(seed=1).digest() != a
+
+
+class TestWarmstart:
+    def test_warm_restore_resumes_round_counter(self):
+        from repro.experiments import warmstart
+
+        rows = warmstart.run(MICRO.with_(trials=2))
+        assert len(rows) == 2
+        for r in rows:
+            assert r["doctor_ok"]
+            # The warm path demonstrably skips re-convergence: its round
+            # counter continues from the manifest, the cold build's starts
+            # over and runs its own gossip rounds.
+            assert r["warm_round"] == r["manifest_round"] > 0
+            assert r["cold_rounds"] > 0
+
+    def test_report_names_the_resume_round(self):
+        from repro.experiments import warmstart
+
+        out = warmstart.report(MICRO.with_(trials=1))
+        assert "round counter resumes at" in out
+
+    def test_cli_snapshot_then_resume(self, tmp_path, capsys):
+        snap_dir = str(tmp_path / "snap")
+        rc = main(["snapshot", snap_dir, "--preset", "quick", "--num-nodes", "90",
+                   "--datasets", "facebook", "--trials", "1"])
+        assert rc == 0
+        assert "snapshot" in capsys.readouterr().out
+
+        from repro.persist.validate import validate_dir
+
+        assert validate_dir(snap_dir) == []
+        rc = main(["warmstart", "--preset", "quick", "--num-nodes", "90",
+                   "--datasets", "facebook", "--trials", "1",
+                   "--resume", snap_dir])
+        assert rc == 0
+        assert "Warm start" in capsys.readouterr().out
+
+    def test_cli_snapshot_requires_dir(self, capsys):
+        assert main(["snapshot"]) == 2
+
+    def test_resume_stamps_snapshot_id_into_provenance(self, tmp_path):
+        import json
+        import os
+
+        snap_dir = str(tmp_path / "snap")
+        telemetry_dir = str(tmp_path / "telemetry")
+        args = ["--preset", "quick", "--num-nodes", "90",
+                "--datasets", "facebook", "--trials", "1"]
+        assert main(["snapshot", snap_dir] + args) == 0
+        assert main(["warmstart", "--resume", snap_dir,
+                     "--telemetry", telemetry_dir] + args) == 0
+        with open(os.path.join(telemetry_dir, "report.json"), encoding="utf-8") as fh:
+            report = json.load(fh)
+        prov = report["provenance"]
+        from repro.persist import load
+
+        assert prov["snapshot_id"] == load(snap_dir)["manifest"]["snapshot_id"]
+        assert prov["root_seed"] is not None
+        assert prov["config_hash"] is not None and len(prov["config_hash"]) == 16
