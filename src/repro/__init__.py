@@ -28,6 +28,9 @@ Packages:
 * :mod:`repro.persist` — versioned checkpoint/restore of live overlay
   state plus deterministic replay (a resumed run is bit-identical to an
   uninterrupted one).
+* :mod:`repro.scenarios` — named chaos scenarios: adversarial load
+  shapers, scripted correlated failures, per-peer overload protection,
+  and SLO specs evaluated into schema-validated verdicts.
 """
 
 from repro.core.config import SelectConfig
@@ -47,6 +50,16 @@ from repro.persist import (
     save as save_snapshot,
 )
 from repro.experiments.common import ExperimentConfig
+from repro.scenarios import (
+    OverloadConfig,
+    OverloadGuard,
+    Scenario,
+    ScenarioResult,
+    SLOSpec,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
 from repro.telemetry import (
     MetricsRegistry,
     NullRegistry,
@@ -84,6 +97,14 @@ __all__ = [
     "load_snapshot",
     "restore_snapshot",
     "save_snapshot",
+    "OverloadConfig",
+    "OverloadGuard",
+    "Scenario",
+    "ScenarioResult",
+    "SLOSpec",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
     "MetricsRegistry",
     "NullRegistry",
     "RouteTracer",

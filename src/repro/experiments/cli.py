@@ -71,16 +71,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "report", "snapshot"],
+        choices=sorted(EXPERIMENTS) + ["all", "report", "snapshot", "scenario"],
         help="which artifact to regenerate, 'report' to render a telemetry dir, "
-        "or 'snapshot' to save a converged overlay",
+        "'snapshot' to save a converged overlay, or 'scenario' to run a named "
+        "chaos scenario to an SLO verdict",
     )
     parser.add_argument(
         "dir",
         nargs="?",
         default=None,
         metavar="DIR",
-        help="telemetry directory ('report') or snapshot directory ('snapshot')",
+        help="telemetry directory ('report'), snapshot directory ('snapshot'), "
+        "or scenario name ('scenario')",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="with 'scenario': list the catalog and exit",
+    )
+    parser.add_argument(
+        "--unprotected",
+        action="store_true",
+        help="with 'scenario': disable overload protection and catch-up "
+        "(the baseline the protection is judged against)",
     )
     parser.add_argument("--preset", default="quick", choices=["quick", "default", "full"])
     parser.add_argument("--num-nodes", type=int, default=None, help="override graph size")
@@ -166,6 +179,71 @@ def _run_snapshot(args, config: ExperimentConfig) -> int:
     return 0
 
 
+def _run_scenario(args) -> int:
+    """Run one catalog scenario and report (and optionally write) its verdict."""
+    from repro.scenarios import get_scenario, run_scenario, scenario_names
+    from repro.scenarios.slo import VERDICT_FILE, write_verdict
+
+    if args.list:
+        for name in scenario_names():
+            print(f"{name:17s} {get_scenario(name).description}")
+        return 0
+    if not args.dir:
+        print(
+            "usage: select-repro scenario NAME [--telemetry DIR] (or --list)",
+            file=sys.stderr,
+        )
+        return 2
+
+    registry = MetricsRegistry()
+    result = run_scenario(
+        args.dir,
+        num_nodes=args.num_nodes if args.num_nodes is not None else 160,
+        seed=args.seed if args.seed is not None else 2018,
+        protected=False if args.unprotected else None,
+        registry=registry,
+        resume_from=args.resume or None,
+    )
+    verdict = result.verdict
+
+    print(f"scenario {verdict['scenario']}: {'PASS' if verdict['passed'] else 'FAIL'}")
+    for obj in verdict["objectives"]:
+        sign = ">=" if obj["kind"] == "floor" else "<="
+        status = "ok" if obj["passed"] else "VIOLATED"
+        print(
+            f"  {obj['name']:22s} {obj['observed']:10.4f} {sign} "
+            f"{obj['threshold']:10.4f}  margin {obj['margin']:+.4f}  {status}"
+        )
+    obs = verdict["observed"]
+    print(
+        f"  [{obs['notifications']} notifications, shed {obs['shed']}, "
+        f"dropped {obs['drops']}, caught up {obs['catchup_recovered']}]"
+    )
+
+    if args.telemetry:
+        import os
+
+        from repro.telemetry.export import write_telemetry
+
+        meta = {
+            "scenario": verdict["scenario"],
+            "seed": verdict["seed"],
+            "num_nodes": verdict["num_nodes"],
+            "protected": not args.unprotected,
+        }
+        paths = write_telemetry(
+            args.telemetry, registry, meta=meta, provenance=dict(verdict["provenance"])
+        )
+        verdict_path = os.path.join(args.telemetry, VERDICT_FILE)
+        write_verdict(verdict, verdict_path)
+        print(
+            f"[telemetry written to {args.telemetry}: "
+            f"{', '.join(sorted(paths) + [VERDICT_FILE])}]",
+            file=sys.stderr,
+        )
+    return 0 if verdict["passed"] else 1
+
+
 def _resume_snapshot_id(config: ExperimentConfig) -> "str | None":
     """Manifest id of the snapshot the run resumes from (None when cold)."""
     if not config.resume_from:
@@ -179,6 +257,8 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "report":
         return _run_report(args)
+    if args.experiment == "scenario":
+        return _run_scenario(args)
     config = config_from_args(args)
     if args.experiment == "snapshot":
         return _run_snapshot(args, config)

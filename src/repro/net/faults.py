@@ -504,6 +504,7 @@ class PingService:
         responded, _, _ = self._exchange(contact)
         if responded:
             self._suspicion.pop((observer, contact), None)
+            self._decay_contact(contact, exclude=observer)
         return responded
 
     def probe(self, observer: int, contact: int) -> PingResult:
@@ -518,6 +519,7 @@ class PingService:
         key = (observer, contact)
         if responded:
             self._suspicion.pop(key, None)
+            self._decay_contact(contact, exclude=observer)
             return PingResult(True, attempts, waited, False)
         count = self._suspicion.get(key, 0) + 1
         if not self.truth(contact) and self.faults.departs_gracefully(contact):
@@ -525,6 +527,25 @@ class PingService:
             count = self.suspicion_threshold
         self._suspicion[key] = count
         return PingResult(False, attempts, waited, count >= self.suspicion_threshold)
+
+    def _decay_contact(self, contact: int, exclude: int) -> None:
+        """Bounded decay of *everyone's* suspicion of a contact that answered.
+
+        A peer that recovers while unobserved used to stay suspect
+        forever in the eyes of observers that stopped probing it — after
+        an outage heals, stale counters would put recovered peers one
+        noisy sample away from eviction. Any confirmed response is
+        evidence the contact is back, so every other observer's counter
+        steps down by one (never below zero; the responding pair's own
+        counter is cleared outright by the caller).
+        """
+        stale = [k for k in self._suspicion if k[1] == contact and k[0] != exclude]
+        for key in stale:
+            remaining = self._suspicion[key] - 1
+            if remaining <= 0:
+                del self._suspicion[key]
+            else:
+                self._suspicion[key] = remaining
 
     def forget(self, observer: int, contact: int) -> None:
         """Clear suspicion state after the observer dropped the contact."""

@@ -8,6 +8,7 @@ OSN posting behaviour and stressing the load-balance experiment (Fig. 4).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -54,6 +55,13 @@ class PublishWorkload:
             raise ConfigurationError(f"need at least one user, got {num_users}")
         if mean_rate <= 0:
             raise ConfigurationError(f"mean_rate must be positive, got {mean_rate}")
+        if rate_sigma < 0:
+            raise ConfigurationError(f"rate_sigma must be >= 0, got {rate_sigma}")
+        if not math.isfinite(mean_rate * num_users):
+            raise ConfigurationError(
+                f"mean_rate * num_users overflows ({mean_rate} * {num_users}); "
+                "scale the per-user rate down"
+            )
         if not (0.0 < publisher_fraction <= 1.0):
             raise ConfigurationError(
                 f"publisher_fraction must be in (0, 1], got {publisher_fraction}"
@@ -89,6 +97,45 @@ class PublishWorkload:
                 t += float(rng.exponential(1.0 / rate))
         events.sort(key=lambda e: (e.time, e.message_id))
         return events
+
+    def per_publisher_rates(self) -> np.ndarray:
+        """Copy of the per-user posting rates (posts per second)."""
+        return self.rates.copy()
+
+    @property
+    def total_rate(self) -> float:
+        """Population-wide posting rate (posts per second)."""
+        return float(self.rates.sum())
+
+    def reweight(self, factors: "dict[int, float]", renormalize: bool = False) -> None:
+        """Scale named users' posting rates in place.
+
+        This is how scenario shapers turn an existing workload into a
+        skewed one (e.g. a celebrity publisher) without regenerating the
+        whole rate vector — the untouched users keep their exact sampled
+        rates, so the rest of the stream stays comparable across runs.
+
+        ``factors`` maps user index to a non-negative multiplier. A user
+        whose rate becomes positive joins :attr:`publishers`; one scaled
+        to zero stops publishing. With ``renormalize=True`` the vector is
+        rescaled afterwards so the population total returns to its
+        previous value (pure skew, no extra traffic).
+        """
+        before = self.rates.sum()
+        for user, factor in factors.items():
+            if not (0 <= user < self.num_users):
+                raise ConfigurationError(f"user {user} out of range [0, {self.num_users})")
+            if not (factor >= 0.0 and math.isfinite(factor)):
+                raise ConfigurationError(
+                    f"reweight factor for user {user} must be finite and >= 0, got {factor}"
+                )
+            self.rates[user] *= factor
+        total = self.rates.sum()
+        if total <= 0:
+            raise ConfigurationError("reweighting left no positive posting rate")
+        if renormalize:
+            self.rates *= before / total
+        self.publishers = np.flatnonzero(self.rates > 0)
 
     def sample_publishers(self, count: int) -> np.ndarray:
         """Sample ``count`` publishers weighted by their posting rate."""

@@ -42,6 +42,9 @@ class DisseminationResult:
     #: missed subscribers whose notification was parked in a catch-up
     #: buffer for later anti-entropy delivery (0 without a store).
     buffered: int = 0
+    #: subscribers shed by overload protection (saturated relay after the
+    #: retry budget); shed routes degrade to the catch-up path.
+    shed: int = 0
 
     @property
     def delivered(self) -> list[int]:
@@ -92,6 +95,7 @@ class PubSubSystem:
         lookahead: "bool | None" = None,
         faults: "FaultPlan | None" = None,
         catchup=None,
+        overload=None,
         registry=None,
         tracer=None,
     ):
@@ -100,6 +104,10 @@ class PubSubSystem:
         self.interest = interest
         self.router = overlay.make_router(lookahead=lookahead)
         self.faults = faults
+        #: optional :class:`~repro.scenarios.overload.OverloadGuard`; when
+        #: set, every publish's dissemination tree is admitted against the
+        #: per-peer queue model before link faults are replayed.
+        self.overload = overload
         #: optional :class:`~repro.core.stabilize.CatchUpStore`; when set,
         #: missed subscribers get their notification buffered for later
         #: anti-entropy delivery instead of being dropped outright.
@@ -123,6 +131,9 @@ class PubSubSystem:
         )
         self._buffered = self.registry.counter(
             "publish.buffered", "missed notifications parked for catch-up"
+        )
+        self._shed = self.registry.counter(
+            "publish.shed", "subscriber deliveries shed by overload protection"
         )
         self._retries = self.registry.counter(
             "publish.retries", "retransmissions spent on lossy links"
@@ -166,9 +177,19 @@ class PubSubSystem:
         )
         retries = 0
         dropped = 0
+        shed = 0
+        if self.overload is not None:
+            # Admission happens at send time, before the network can lose
+            # anything: a route that is never admitted is never transmitted.
+            routes, overflowed, shed = self.overload.admit(routes, time)
+            dropped += overflowed
         fault_notes: "dict[int, dict] | None" = {} if self.tracer is not None else None
         if self.faults is not None and not self.faults.is_null:
-            routes, retries, dropped = self._inject_link_faults(routes, time, fault_notes)
+            routes, fault_retries, fault_dropped = self._inject_link_faults(
+                routes, time, fault_notes
+            )
+            retries += fault_retries
+            dropped += fault_dropped
         buffered = 0
         if self.catchup is not None:
             buffered = self._deposit_missed(
@@ -188,6 +209,7 @@ class PubSubSystem:
             retries=retries,
             dropped=dropped,
             buffered=buffered,
+            shed=shed,
         )
         self._observe_publish(out)
         if self.tracer is not None:
@@ -203,6 +225,7 @@ class PubSubSystem:
         self._retries.inc(result.retries)
         self._dropped.inc(result.dropped)
         self._buffered.inc(result.buffered)
+        self._shed.inc(result.shed)
         for r in result.routes.values():
             if r.delivered:
                 self._delivered.inc()
@@ -237,6 +260,7 @@ class PubSubSystem:
                 "delivered": len(result.delivered),
                 "dropped": result.dropped,
                 "buffered": result.buffered,
+                "shed": result.shed,
                 "retries": result.retries,
                 "routes": route_rows,
             }

@@ -1,0 +1,211 @@
+"""Build and drive one scenario end to end, deterministically.
+
+``run_scenario`` is the one entry point: given a catalog
+:class:`~repro.scenarios.catalog.Scenario` (or its name) it derives every
+seed from one root via labelled :class:`~repro.util.rng.RngStream`
+children, builds the trial graph and SELECT overlay, stacks the
+scenario's shapers over a fresh :class:`PublishWorkload`, compiles its
+fault script to a :class:`FaultPlan`, arms the overload guard and
+catch-up store, runs the :class:`NotificationSimulator`, and evaluates
+the SLO into a verdict document. Same scenario + same seed + same size →
+byte-identical ``verdict.json``.
+
+Checkpointing rides the PR 5 snapshot path unchanged: pass
+``snapshot_every``/``snapshot_dir`` to checkpoint mid-run (the overload
+guard's queue state is captured alongside the simulator's), and
+``resume_from`` to continue a checkpointed scenario bit-identically.
+
+The ``protected`` override re-runs the *same* scenario with the overload
+policy flipped: ``protected=False`` turns admission control, retries,
+and the catch-up store off, so saturation overflows silently — the
+baseline the protection is judged against in ``bench_scenarios``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, replace
+
+from repro.core.config import SelectConfig
+from repro.core.select import SelectOverlay
+from repro.core.stabilize import CatchUpStore
+from repro.graphs.datasets import load_dataset
+from repro.net.workload import PublishWorkload
+from repro.scenarios.catalog import Scenario, get_scenario
+from repro.scenarios.overload import OverloadGuard
+from repro.scenarios.shapers import ShapedWorkload
+from repro.scenarios.slo import build_verdict
+from repro.sim.runner import NotificationSimulator, SimulationReport
+from repro.telemetry.registry import MetricsRegistry
+from repro.util.rng import RngStream
+
+__all__ = ["ScenarioResult", "run_scenario"]
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    scenario: Scenario
+    report: SimulationReport
+    verdict: dict
+    registry: MetricsRegistry
+    overload: "OverloadGuard | None" = None
+    faults: "object | None" = None
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.verdict["passed"])
+
+
+def _config_hash(scenario: Scenario, num_nodes: int, dataset: str, protected) -> str:
+    """Content hash of the resolved scenario configuration."""
+    payload = {
+        "scenario": scenario.name,
+        "dataset": dataset,
+        "num_nodes": int(num_nodes),
+        "horizon": scenario.horizon,
+        "maintenance_period": scenario.maintenance_period,
+        "mean_rate": scenario.mean_rate,
+        "rate_sigma": scenario.rate_sigma,
+        "use_catchup": scenario.use_catchup,
+        "catchup_capacity": scenario.catchup_capacity,
+        "overload": None
+        if scenario.overload is None
+        else {
+            "capacity": scenario.overload.capacity,
+            "window": scenario.overload.window,
+            "protected": scenario.overload.protected
+            if protected is None
+            else bool(protected),
+            "retry_budget": scenario.overload.retry_budget,
+            "backoff_s": scenario.overload.backoff_s,
+            "priority_reserve": scenario.overload.priority_reserve,
+        },
+    }
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
+def _snapshot_id(resume_from) -> "str | None":
+    if resume_from is None:
+        return None
+    if isinstance(resume_from, dict):
+        return resume_from.get("manifest", {}).get("snapshot_id")
+    manifest = os.path.join(str(resume_from), "manifest.json")
+    try:
+        with open(manifest, "r", encoding="utf-8") as fh:
+            return json.load(fh).get("snapshot_id")
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def run_scenario(
+    scenario: "Scenario | str",
+    *,
+    num_nodes: int = 160,
+    seed: int = 2018,
+    dataset: str = "facebook",
+    protected: "bool | None" = None,
+    registry: "MetricsRegistry | None" = None,
+    snapshot_every: "int | None" = None,
+    snapshot_dir: "str | None" = None,
+    resume_from=None,
+) -> ScenarioResult:
+    """Run one scenario and evaluate its SLO into a verdict.
+
+    ``protected`` overrides the scenario's overload policy: ``False``
+    also disarms the catch-up store, so saturation drops silently — the
+    unprotected baseline; ``None`` keeps the scenario as registered.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    registry = registry if registry is not None else MetricsRegistry()
+    stream = RngStream(seed)
+
+    def child_seed(label: str) -> int:
+        return int(stream.child(f"scenario:{scenario.name}:{label}").integers(2**31 - 1))
+
+    graph = load_dataset(
+        dataset,
+        num_nodes=num_nodes,
+        seed=stream.child(f"scenario:{scenario.name}:graph:{dataset}:{num_nodes}"),
+    )
+    overlay = SelectOverlay(graph, config=SelectConfig()).build(seed=child_seed("overlay"))
+
+    workload = PublishWorkload(
+        graph.num_nodes,
+        mean_rate=scenario.mean_rate,
+        rate_sigma=scenario.rate_sigma,
+        seed=child_seed("workload"),
+    )
+    shapers = scenario.build_shapers(graph)
+    if shapers:
+        workload = ShapedWorkload(workload, shapers, seed=child_seed("shapers"))
+
+    faults = None
+    if scenario.fault_script is not None and not scenario.fault_script.is_null:
+        faults = scenario.fault_script.compile(
+            seed=child_seed("faults"), registry=registry
+        )
+
+    use_catchup = scenario.use_catchup
+    overload_config = scenario.overload
+    if protected is not None and overload_config is not None:
+        overload_config = replace(overload_config, protected=bool(protected))
+        if not protected:
+            use_catchup = False
+
+    guard = None
+    if overload_config is not None:
+        guard = OverloadGuard(overload_config, graph.num_nodes, registry=registry)
+
+    catchup = None
+    if use_catchup:
+        catchup = CatchUpStore(
+            overlay,
+            capacity=scenario.catchup_capacity,
+            faults=faults,
+            registry=registry,
+        )
+
+    simulator = NotificationSimulator(
+        overlay,
+        workload,
+        maintenance_period=scenario.maintenance_period,
+        faults=faults,
+        catchup=catchup,
+        overload=guard,
+        registry=registry,
+        snapshot_every=snapshot_every,
+        snapshot_dir=snapshot_dir,
+        resume_from=resume_from,
+    )
+    report = simulator.run(scenario.horizon)
+
+    verdict = build_verdict(
+        scenario.name,
+        scenario.slo,
+        report,
+        seed=seed,
+        num_nodes=num_nodes,
+        horizon=scenario.horizon,
+        registry=registry,
+        overload_stats=guard.stats.as_dict() if guard is not None else None,
+        fault_stats=faults.stats.as_dict() if faults is not None else None,
+        provenance={
+            "root_seed": int(seed),
+            "config_hash": _config_hash(scenario, num_nodes, dataset, protected),
+            "snapshot_id": _snapshot_id(resume_from),
+        },
+    )
+    return ScenarioResult(
+        scenario=scenario,
+        report=report,
+        verdict=verdict,
+        registry=registry,
+        overload=guard,
+        faults=faults,
+    )

@@ -1,0 +1,219 @@
+"""Time-varying load shapers layered over :class:`PublishWorkload`.
+
+The base workload is stationary: per-user Poisson posting at log-normally
+heterogeneous rates. Real OSN traffic is not — it breathes with the day,
+spikes when something happens, and concentrates on a few celebrity
+accounts whose audience is their whole (huge) friend list. Shapers turn
+the stationary stream into those regimes while staying exactly
+reproducible under a seed:
+
+* **rate shapers** (:class:`CelebrityShaper`) rewrite the per-publisher
+  rate vector *before* events are drawn, via
+  :meth:`~repro.net.workload.PublishWorkload.reweight` — the untouched
+  users keep their sampled rates;
+* **stream shapers** (:class:`DiurnalShaper`, :class:`FlashCrowdShaper`)
+  transform the drawn event stream: thinning against a deterministic
+  intensity curve, or superposing an extra burst process.
+
+:class:`ShapedWorkload` composes any number of them over one base
+workload and is a drop-in replacement wherever a ``PublishWorkload`` is
+accepted (it only needs ``events_until``). Every shaper draws from its
+own child generator, so adding a shaper never perturbs the base
+workload's stream, and with no shapers the composed stream is
+byte-identical to the base's.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.net.workload import PublishEvent, PublishWorkload
+from repro.util.exceptions import ConfigurationError
+from repro.util.rng import RngStream
+
+__all__ = [
+    "LoadShaper",
+    "DiurnalShaper",
+    "FlashCrowdShaper",
+    "CelebrityShaper",
+    "ShapedWorkload",
+]
+
+
+class LoadShaper:
+    """One composable transformation of a publish-event stream."""
+
+    #: stable label; names the shaper's child RNG stream.
+    name = "shaper"
+
+    def prepare(self, workload: PublishWorkload, rng: np.random.Generator) -> None:
+        """Rewrite workload rates before events are drawn (rate shapers)."""
+
+    def shape(
+        self,
+        events: "list[PublishEvent]",
+        workload: PublishWorkload,
+        horizon: float,
+        rng: np.random.Generator,
+    ) -> "list[PublishEvent]":
+        """Transform the drawn stream (stream shapers); default: identity."""
+        return events
+
+
+class DiurnalShaper(LoadShaper):
+    """Sinusoidal day/night modulation by thinning.
+
+    The instantaneous keep-probability is
+    ``trough + (1 - trough) * (1 + cos(2*pi*(t - peak_at)/period)) / 2``
+    — 1.0 at the daily peak, ``trough`` at the trough — and each event
+    survives an independent seeded coin weighed by it. Thinning a Poisson
+    stream yields the non-homogeneous Poisson process with exactly that
+    intensity, so the shaped stream is a proper diurnal workload, not a
+    resampled one.
+    """
+
+    name = "diurnal"
+
+    def __init__(self, period: float = 86400.0, trough: float = 0.25, peak_at: float = 0.0):
+        if period <= 0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        if not (0.0 <= trough <= 1.0):
+            raise ConfigurationError(f"trough must be in [0, 1], got {trough}")
+        self.period = float(period)
+        self.trough = float(trough)
+        self.peak_at = float(peak_at)
+
+    def intensity(self, t: float) -> float:
+        """Keep-probability at time ``t`` (1.0 at the peak, trough at night)."""
+        phase = 2.0 * math.pi * (t - self.peak_at) / self.period
+        return self.trough + (1.0 - self.trough) * (1.0 + math.cos(phase)) / 2.0
+
+    def shape(self, events, workload, horizon, rng):
+        keep = rng.random(len(events))
+        return [e for e, u in zip(events, keep) if u < self.intensity(e.time)]
+
+
+class FlashCrowdShaper(LoadShaper):
+    """A burst of extra posts in a time window (flash crowd).
+
+    During ``[start, start + duration)`` an additional Poisson stream of
+    ``magnitude`` times the population's base rate is superposed on the
+    organic traffic; burst publishers are drawn rate-weighted from the
+    base workload, so the crowd is the usual posters posting much more,
+    plus everyone else piling on proportionally.
+    """
+
+    name = "flash_crowd"
+
+    def __init__(self, start: float, duration: float, magnitude: float = 10.0):
+        if start < 0:
+            raise ConfigurationError(f"start must be >= 0, got {start}")
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {duration}")
+        if magnitude <= 0:
+            raise ConfigurationError(f"magnitude must be positive, got {magnitude}")
+        self.start = float(start)
+        self.duration = float(duration)
+        self.magnitude = float(magnitude)
+
+    def shape(self, events, workload, horizon, rng):
+        end = min(self.start + self.duration, horizon)
+        if end <= self.start:
+            return events
+        burst_rate = self.magnitude * workload.total_rate
+        if burst_rate <= 0:
+            return events
+        extra: list[PublishEvent] = []
+        t = self.start + float(rng.exponential(1.0 / burst_rate))
+        while t < end:
+            extra.append(PublishEvent(time=t, publisher=-1, message_id=-1))
+            t += float(rng.exponential(1.0 / burst_rate))
+        if extra:
+            probs = workload.rates / workload.rates.sum()
+            who = rng.choice(workload.num_users, size=len(extra), replace=True, p=probs)
+            extra = [
+                PublishEvent(time=e.time, publisher=int(w), message_id=-1)
+                for e, w in zip(extra, who)
+            ]
+        return events + extra
+
+
+class CelebrityShaper(LoadShaper):
+    """One publisher posts ``boost`` times its organic rate.
+
+    Combined with SELECT's social subscription model (``S_b`` = the
+    publisher's friend list), pointing this at a top-degree user produces
+    the celebrity regime: every post fans out to ``degree(b)``
+    subscribers, so dissemination work concentrates on the relays around
+    one ring neighborhood. The scenario catalog picks the highest-degree
+    node of the trial graph as the celebrity.
+    """
+
+    name = "celebrity"
+
+    def __init__(self, publisher: int, boost: float = 50.0):
+        if publisher < 0:
+            raise ConfigurationError(f"publisher must be >= 0, got {publisher}")
+        if boost <= 0:
+            raise ConfigurationError(f"boost must be positive, got {boost}")
+        self.publisher = int(publisher)
+        self.boost = float(boost)
+
+    def prepare(self, workload, rng):
+        workload.reweight({self.publisher: self.boost})
+
+
+class ShapedWorkload:
+    """A base workload with an ordered stack of shapers applied.
+
+    Drop-in for :class:`~repro.net.workload.PublishWorkload` in the
+    simulator. Rate shapers run once (first ``events_until`` call), then
+    each stream shaper transforms the drawn events in order; the final
+    stream is re-sorted and message ids renumbered so downstream
+    consumers see one coherent, time-ordered stream. Each shaper gets a
+    child generator keyed by its position and name, so shapers stay
+    independent of the base stream and of each other.
+    """
+
+    def __init__(
+        self,
+        base: PublishWorkload,
+        shapers: "tuple[LoadShaper, ...] | list[LoadShaper]" = (),
+        seed=None,
+    ):
+        self.base = base
+        self.shapers = tuple(shapers)
+        for shaper in self.shapers:
+            if not isinstance(shaper, LoadShaper):
+                raise ConfigurationError(f"not a LoadShaper: {shaper!r}")
+        self._stream = RngStream(seed if seed is not None else 0)
+        self._prepared = False
+
+    @property
+    def num_users(self) -> int:
+        return self.base.num_users
+
+    def _shaper_rng(self, index: int, shaper: LoadShaper) -> np.random.Generator:
+        return self._stream.child(f"shaper:{index}:{shaper.name}")
+
+    def events_until(self, horizon: float) -> "list[PublishEvent]":
+        if not self.shapers:
+            # No shapers: the stream must be byte-identical to the base's
+            # (including its message-id assignment), not just equivalent.
+            return self.base.events_until(horizon)
+        if not self._prepared:
+            for i, shaper in enumerate(self.shapers):
+                shaper.prepare(self.base, self._shaper_rng(i, shaper))
+            self._prepared = True
+        events = self.base.events_until(horizon)
+        for i, shaper in enumerate(self.shapers):
+            events = shaper.shape(events, self.base, horizon, self._shaper_rng(i, shaper))
+        # One stable total order (ties broken by publisher), then renumber
+        # so message ids are dense and deterministic after reshaping.
+        events.sort(key=lambda e: (e.time, e.publisher, e.message_id))
+        return [
+            PublishEvent(time=e.time, publisher=e.publisher, message_id=i)
+            for i, e in enumerate(events)
+        ]

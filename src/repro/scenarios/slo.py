@@ -1,0 +1,177 @@
+"""Per-scenario SLO specs evaluated into ``verdict.json``.
+
+A scenario is only a regression test if it ends in a machine-checkable
+pass/fail. :class:`SLOSpec` declares the service-level objectives a run
+must hold — an availability floor, p99 ceilings on hops and latency,
+caps on silent drops and on load shed to the catch-up path — and
+:func:`build_verdict` evaluates them against the simulation report and
+the run's telemetry registry (hop percentiles come from the PR 3
+``publish.hops`` histogram) into a ``select-repro/verdict/v1`` document:
+one objective row per configured threshold, each with its observed
+value and signed margin (positive = satisfied), plus an overall verdict.
+
+Verdicts are bit-reproducible: every observed value is derived from the
+seeded simulation (fixed-bucket histogram quantiles, nearest-rank
+latency percentiles — no wall-clock anywhere), and the JSON is written
+with sorted keys, so the CI determinism gate can compare files byte for
+byte.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass
+
+from repro.sim.runner import SimulationReport
+from repro.util.exceptions import ConfigurationError
+
+__all__ = ["VERDICT_SCHEMA", "VERDICT_FILE", "SLOSpec", "build_verdict", "write_verdict"]
+
+VERDICT_SCHEMA = "select-repro/verdict/v1"
+VERDICT_FILE = "verdict.json"
+
+
+def _nearest_rank(values: "list[float]", q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """Objectives a scenario run must satisfy (``None`` = not required).
+
+    Floors are satisfied when ``observed >= threshold``; ceilings when
+    ``observed <= threshold``. ``availability`` counts only first-pass
+    delivery; ``total_availability`` also credits catch-up recoveries —
+    the right floor for protected scenarios whose whole point is to
+    degrade into the catch-up path instead of dropping.
+    """
+
+    availability_floor: "float | None" = None
+    total_availability_floor: "float | None" = None
+    p99_hops_ceiling: "float | None" = None
+    p99_latency_ms_ceiling: "float | None" = None
+    max_drop_rate: "float | None" = None
+    max_shed_rate: "float | None" = None
+
+    def __post_init__(self):
+        for name in ("availability_floor", "total_availability_floor"):
+            v = getattr(self, name)
+            if v is not None and not (0.0 <= v <= 1.0):
+                raise ConfigurationError(f"{name} must be in [0, 1], got {v}")
+        for name in (
+            "p99_hops_ceiling",
+            "p99_latency_ms_ceiling",
+            "max_drop_rate",
+            "max_shed_rate",
+        ):
+            v = getattr(self, name)
+            if v is not None and v < 0:
+                raise ConfigurationError(f"{name} must be >= 0, got {v}")
+
+    def objectives(self, observed: dict) -> "list[dict]":
+        """One row per configured threshold, evaluated against ``observed``."""
+        spec = [
+            ("availability", "floor", self.availability_floor),
+            ("total_availability", "floor", self.total_availability_floor),
+            ("p99_hops", "ceiling", self.p99_hops_ceiling),
+            ("p99_latency_ms", "ceiling", self.p99_latency_ms_ceiling),
+            ("drop_rate", "ceiling", self.max_drop_rate),
+            ("shed_rate", "ceiling", self.max_shed_rate),
+        ]
+        rows = []
+        for name, kind, threshold in spec:
+            if threshold is None:
+                continue
+            value = observed[name]
+            margin = (value - threshold) if kind == "floor" else (threshold - value)
+            rows.append(
+                {
+                    "name": name,
+                    "kind": kind,
+                    "threshold": float(threshold),
+                    "observed": float(value),
+                    "margin": float(margin),
+                    "passed": bool(margin >= 0.0),
+                }
+            )
+        return rows
+
+
+def _observe(report: SimulationReport, registry=None) -> dict:
+    """The metric snapshot objectives are judged against."""
+    wanted = sum(r.subscribers_online for r in report.records)
+    shed = sum(getattr(r, "shed", 0) for r in report.records)
+    p99_hops = 0.0
+    if registry is not None:
+        hist = registry.histograms().get("publish.hops")
+        if hist is not None and hist.count:
+            p99_hops = float(hist.quantile(0.99))
+    latencies = [r.latency_ms for r in report.records if r.delivered]
+    return {
+        "notifications": report.notifications,
+        "availability": float(report.availability),
+        "total_availability": float(report.total_availability),
+        "drops": int(report.drops),
+        "shed": int(shed),
+        "drop_rate": (report.drops / wanted) if wanted else 0.0,
+        "shed_rate": (shed / wanted) if wanted else 0.0,
+        "catchup_recovered": int(report.catchup_recovered),
+        "maintenance_ticks": int(report.maintenance_ticks),
+        "mean_latency_ms": float(report.mean_latency_ms),
+        "p99_hops": p99_hops,
+        "p99_latency_ms": _nearest_rank(latencies, 0.99),
+        "mean_partition_heal_time": float(report.mean_partition_heal_time),
+    }
+
+
+def build_verdict(
+    scenario: str,
+    slo: SLOSpec,
+    report: SimulationReport,
+    *,
+    seed: int,
+    num_nodes: int,
+    horizon: float,
+    registry=None,
+    overload_stats: "dict | None" = None,
+    fault_stats: "dict | None" = None,
+    provenance: "dict | None" = None,
+) -> dict:
+    """Evaluate ``slo`` over one finished run into a verdict document."""
+    observed = _observe(report, registry=registry)
+    objectives = slo.objectives(observed)
+    return {
+        "schema": VERDICT_SCHEMA,
+        "scenario": str(scenario),
+        "seed": int(seed),
+        "num_nodes": int(num_nodes),
+        "horizon": float(horizon),
+        "passed": bool(all(o["passed"] for o in objectives)),
+        "objectives": objectives,
+        "observed": {
+            **observed,
+            "overload": overload_stats,
+            "faults": fault_stats,
+        },
+        "provenance": provenance
+        if provenance is not None
+        else {"root_seed": int(seed), "config_hash": None, "snapshot_id": None},
+    }
+
+
+def write_verdict(verdict: dict, path: str) -> str:
+    """Write a verdict document with a byte-stable encoding; returns the path."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(verdict, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

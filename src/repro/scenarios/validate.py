@@ -1,0 +1,104 @@
+"""Schema checks for a ``verdict.json`` (CI gate).
+
+``python -m repro.scenarios.validate PATH`` exits non-zero when the
+verdict file (or the ``verdict.json`` inside a directory) violates the
+``select-repro/verdict/v1`` contract. Like the telemetry validator, the
+checks are explicit — no external schema library.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from repro.scenarios.slo import VERDICT_FILE, VERDICT_SCHEMA
+
+__all__ = ["validate_verdict", "validate_path", "main"]
+
+_OBJECTIVE_KEYS = {"name", "kind", "threshold", "observed", "margin", "passed"}
+_TOP_KEYS = {"schema", "scenario", "seed", "num_nodes", "horizon", "passed", "objectives", "observed", "provenance"}
+
+
+def validate_verdict(verdict: dict) -> "list[str]":
+    """All schema violations in one verdict document (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(verdict, dict):
+        return [f"verdict must be an object, got {type(verdict).__name__}"]
+    if verdict.get("schema") != VERDICT_SCHEMA:
+        errors.append(f"missing/unknown schema tag {verdict.get('schema')!r}")
+    missing = sorted(_TOP_KEYS - set(verdict))
+    if missing:
+        errors.append(f"missing top-level keys {missing}")
+    if not isinstance(verdict.get("passed"), bool):
+        errors.append("'passed' must be a boolean")
+    objectives = verdict.get("objectives")
+    if not isinstance(objectives, list):
+        errors.append("'objectives' must be a list")
+        objectives = []
+    all_passed = True
+    for i, obj in enumerate(objectives):
+        if not isinstance(obj, dict):
+            errors.append(f"objectives[{i}] must be an object")
+            continue
+        absent = sorted(_OBJECTIVE_KEYS - set(obj))
+        if absent:
+            errors.append(f"objectives[{i}] missing keys {absent}")
+            continue
+        if obj["kind"] not in ("floor", "ceiling"):
+            errors.append(f"objectives[{i}] kind must be floor/ceiling, got {obj['kind']!r}")
+        if obj["kind"] == "floor":
+            margin = obj["observed"] - obj["threshold"]
+        else:
+            margin = obj["threshold"] - obj["observed"]
+        if abs(margin - obj["margin"]) > 1e-9:
+            errors.append(
+                f"objectives[{i}] margin {obj['margin']} inconsistent with "
+                f"observed/threshold (expected {margin})"
+            )
+        if bool(obj["passed"]) != (obj["margin"] >= 0.0):
+            errors.append(f"objectives[{i}] passed flag inconsistent with margin")
+        all_passed = all_passed and bool(obj["passed"])
+    if isinstance(verdict.get("passed"), bool) and verdict["passed"] != all_passed:
+        errors.append("'passed' inconsistent with objective rows")
+    observed = verdict.get("observed")
+    if not isinstance(observed, dict):
+        errors.append("'observed' must be an object")
+    provenance = verdict.get("provenance")
+    if not isinstance(provenance, dict):
+        errors.append("'provenance' must be an object")
+    else:
+        for key in ("root_seed", "config_hash", "snapshot_id"):
+            if key not in provenance:
+                errors.append(f"provenance missing key {key!r}")
+    return errors
+
+
+def validate_path(path: str) -> "list[str]":
+    """Validate a verdict file, or the ``verdict.json`` inside a directory."""
+    if os.path.isdir(path):
+        path = os.path.join(path, VERDICT_FILE)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            verdict = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+    return [f"{path}: {err}" for err in validate_verdict(verdict)]
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.scenarios.validate VERDICT_JSON_OR_DIR", file=sys.stderr)
+        return 2
+    errors = validate_path(argv[0])
+    if errors:
+        for err in errors:
+            print(f"SCHEMA ERROR: {err}", file=sys.stderr)
+        return 1
+    print(f"{argv[0]}: verdict schema OK")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

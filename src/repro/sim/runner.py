@@ -47,10 +47,13 @@ class NotificationRecord:
     delivered: int
     relay_nodes: int
     latency_ms: float
-    #: subscribers lost to injected link faults (0 without a fault plan).
+    #: subscribers lost to injected link faults or silent queue overflow
+    #: (0 without a fault plan / overload model).
     dropped: int = 0
     #: retransmissions spent on this notification's lossy hops.
     retries: int = 0
+    #: subscribers shed by overload protection into the catch-up path.
+    shed: int = 0
 
     @property
     def complete(self) -> bool:
@@ -123,6 +126,11 @@ class SimulationReport:
         return sum(r.dropped for r in self.records)
 
     @property
+    def shed(self) -> int:
+        """Total subscriber deliveries shed by overload protection."""
+        return sum(r.shed for r in self.records)
+
+    @property
     def retries(self) -> int:
         """Total retransmissions spent across all notifications."""
         return sum(r.retries for r in self.records)
@@ -151,6 +159,7 @@ class NotificationSimulator:
         faults: "FaultPlan | None" = None,
         stabilizer=None,
         catchup=None,
+        overload=None,
         recorder: "TraceRecorder | None" = None,
         registry=None,
         snapshot_every: "int | None" = None,
@@ -175,7 +184,18 @@ class NotificationSimulator:
         #: optional :class:`~repro.core.stabilize.CatchUpStore`; wired into
         #: the pub/sub layer for deposits and drained at maintenance ticks.
         self.catchup = catchup
-        self.pubsub = PubSubSystem(overlay, faults=faults, catchup=catchup)
+        #: optional :class:`~repro.scenarios.overload.OverloadGuard`; the
+        #: pub/sub layer consults it per publish, and checkpoints carry
+        #: its queue state so resumed runs stay bit-identical.
+        self.overload = overload
+        self.registry = registry if registry is not None else get_registry()
+        self.pubsub = PubSubSystem(
+            overlay,
+            faults=faults,
+            catchup=catchup,
+            overload=overload,
+            registry=self.registry,
+        )
         self.workload = workload
         self.churn = churn
         self.bandwidth = bandwidth
@@ -205,7 +225,6 @@ class NotificationSimulator:
         self.resume_from = resume_from
         #: snapshots captured by this simulator, in tick order.
         self.snapshots: list[dict] = []
-        self.registry = registry if registry is not None else get_registry()
         self._run_timer = self.registry.timer("sim.run")
         self._m_publishes = self.registry.counter(
             "sim.publishes", "publish events disseminated by the simulator"
@@ -355,6 +374,8 @@ class NotificationSimulator:
         if self.recorder is not None and sim.get("recorder"):
             for row in sim["recorder"]:
                 self.recorder.record(row["series"], row["round"], row["value"])
+        if self.overload is not None and sim.get("overload") is not None:
+            self.overload.restore_state(sim["overload"])
         return queue, report
 
     def _capture_checkpoint(self, now: float, report: SimulationReport) -> dict:
@@ -392,6 +413,7 @@ class NotificationSimulator:
                 "catchup": catchup_before,
             },
             "recorder": None if self.recorder is None else self.recorder.to_rows(),
+            "overload": None if self.overload is None else self.overload.state_dict(),
         }
         recovery = (
             self._repair_owner
@@ -488,6 +510,7 @@ class NotificationSimulator:
                 latency_ms=latency_ms,
                 dropped=result.dropped,
                 retries=result.retries,
+                shed=result.shed,
             )
         )
         self._m_publishes.inc()
@@ -497,5 +520,7 @@ class NotificationSimulator:
             self.recorder.record("notify.online_subscribers", index, len(result.subscribers))
             if result.dropped:
                 self.recorder.record("notify.dropped", index, result.dropped)
+            if result.shed:
+                self.recorder.record("notify.shed", index, result.shed)
             if result.retries:
                 self.recorder.record("notify.retries", index, result.retries)

@@ -149,6 +149,27 @@ class Histogram:
             out.append(running)
         return out
 
+    def quantile(self, q: float) -> float:
+        """Upper edge of the bucket containing the ``q``-quantile.
+
+        Deterministic (no interpolation): the answer is always one of the
+        fixed bucket edges, so SLO verdicts computed from it are
+        bit-reproducible. Observations in the +Inf tail report the last
+        finite edge times two as a conservative stand-in; an empty
+        histogram reports 0.0.
+        """
+        if not (0.0 <= q <= 1.0):
+            raise ConfigurationError(f"histogram {self.name}: quantile {q} not in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        running = 0
+        for edge, c in zip(self.buckets, self.counts):
+            running += c
+            if running >= rank:
+                return edge
+        return self.buckets[-1] * 2.0
+
 
 class _TimerHandle:
     """One timed interval; ``elapsed`` is valid after the ``with`` exits."""
@@ -269,6 +290,9 @@ class _NullInstrument:
 
     def cumulative(self) -> list:
         return []
+
+    def quantile(self, q: float) -> float:
+        return 0.0
 
     def __enter__(self):
         return _NULL_HANDLE

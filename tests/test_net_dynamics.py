@@ -139,6 +139,54 @@ class TestWorkload:
         with pytest.raises(ConfigurationError):
             w.sample_publishers(0)
 
+    def test_negative_rate_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PublishWorkload(10, rate_sigma=-0.5)
+        # Zero sigma is legal: every publisher posts at the same rate.
+        w = PublishWorkload(10, rate_sigma=0.0, publisher_fraction=1.0, seed=7)
+        assert np.allclose(w.rates, w.rates[0])
+
+    def test_aggregate_rate_overflow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PublishWorkload(10**9, mean_rate=1e300)
+
+    def test_per_publisher_rates_is_a_copy(self):
+        w = PublishWorkload(20, seed=8)
+        rates = w.per_publisher_rates()
+        rates[:] = 0.0
+        assert w.rates.sum() > 0
+        assert w.total_rate == pytest.approx(float(w.rates.sum()))
+
+    def test_reweight_boosts_named_user(self):
+        w = PublishWorkload(50, rate_sigma=1.0, publisher_fraction=1.0, seed=9)
+        before = w.rates.copy()
+        w.reweight({3: 10.0})
+        assert w.rates[3] == pytest.approx(before[3] * 10.0)
+        others = np.delete(np.arange(50), 3)
+        assert np.allclose(w.rates[others], before[others])
+
+    def test_reweight_renormalize_preserves_total(self):
+        w = PublishWorkload(50, rate_sigma=1.0, publisher_fraction=1.0, seed=10)
+        total = w.total_rate
+        w.reweight({0: 25.0}, renormalize=True)
+        assert w.total_rate == pytest.approx(total)
+
+    def test_reweight_invalid(self):
+        w = PublishWorkload(10, publisher_fraction=1.0, seed=11)
+        with pytest.raises(ConfigurationError):
+            w.reweight({-1: 2.0})
+        with pytest.raises(ConfigurationError):
+            w.reweight({10: 2.0})
+        with pytest.raises(ConfigurationError):
+            w.reweight({0: -1.0})
+        with pytest.raises(ConfigurationError):
+            w.reweight({i: 0.0 for i in range(10)})
+
+    def test_reweight_zeroed_user_leaves_publishers(self):
+        w = PublishWorkload(10, publisher_fraction=1.0, seed=12)
+        w.reweight({4: 0.0})
+        assert 4 not in w.publishers
+
 
 class TestCma:
     def test_streaming_mean(self):

@@ -48,6 +48,33 @@ class TestRingPartition:
         assert not p.separates(0.1, 0.9, 200.0)
         assert not p.separates(0.1, 0.2, 150.0)  # same side
 
+    def test_seam_wrapping_arc_sides(self):
+        # The cut [0.9, 0.1) crosses the 0/1 seam: ids just below 1.0 and
+        # just above 0.0 are in the SAME (cut-off) region.
+        p = RingPartition(cut=(0.9, 0.1))
+        assert p.side(0.95) == 0
+        assert p.side(0.0) == 0
+        assert p.side(0.05) == 0
+        assert p.side(0.1) == 1  # half-open: hi itself is outside
+        assert p.side(0.5) == 1
+        assert p.side(0.9) == 0  # lo itself is inside
+
+    def test_seam_wrapping_arc_separates(self):
+        p = RingPartition(cut=(0.9, 0.1), start=0.0, end=100.0)
+        # Both sides of the numeric seam, same side of the cut: connected.
+        assert not p.separates(0.95, 0.05, 50.0)
+        # Inside arc vs outside arc: separated while the window is open.
+        assert p.separates(0.95, 0.5, 50.0)
+        assert p.separates(0.05, 0.5, 50.0)
+        assert not p.separates(0.95, 0.5, 150.0)  # window closed
+
+    def test_boundary_ids_on_seam_arc(self):
+        # Exactly-on-boundary identifiers obey half-open [lo, hi).
+        p = RingPartition(cut=(0.9, 0.1))
+        assert p.separates(0.9, 0.1, 0.0)
+        assert not p.separates(0.9, 0.95, 0.0)
+        assert not p.separates(0.1, 0.2, 0.0)
+
 
 class TestFaultPlan:
     def test_invalid_values_rejected(self):
@@ -279,6 +306,40 @@ class TestPingService:
         service.set_ground_truth(self._online())  # contact comes back
         assert service.check(0, 1)
         assert service.suspicion(0, 1) == 0
+
+    def test_response_decays_other_observers_suspicion(self):
+        # During an outage several observers accumulate suspicion about the
+        # same contact. Once the contact answers anyone, every other
+        # observer's stale count decays by one per confirmed-live answer —
+        # bounded decay, so the overlay reconverges after the outage
+        # instead of keeping the healed contact one probe from eviction.
+        plan = FaultPlan(ping_false_negative=0.01, suspicion_threshold=4, seed=19)
+        service = PingService(plan)
+        service.set_ground_truth(self._online(down=[1]))
+        for _ in range(3):
+            service.probe(0, 1)
+            service.probe(2, 1)
+        assert service.suspicion(0, 1) == 3
+        assert service.suspicion(2, 1) == 3
+        service.set_ground_truth(self._online())  # outage heals
+        assert service.probe(0, 1).responded
+        # Observer 0's own count resets; observer 2's decays by one.
+        assert service.suspicion(0, 1) == 0
+        assert service.suspicion(2, 1) == 2
+        assert service.check(0, 1)
+        assert service.suspicion(2, 1) == 1
+        assert service.probe(3, 1).responded
+        assert service.suspicion(2, 1) == 0
+
+    def test_decay_does_not_touch_other_contacts(self):
+        plan = FaultPlan(ping_false_negative=0.01, suspicion_threshold=4, seed=20)
+        service = PingService(plan)
+        service.set_ground_truth(self._online(down=[1, 2]))
+        service.probe(0, 1)
+        service.probe(0, 2)
+        service.set_ground_truth(self._online(down=[2]))  # only 1 heals
+        assert service.probe(3, 1).responded
+        assert service.suspicion(0, 2) == 1  # suspicion about 2 untouched
 
     def test_forget_clears_suspicion(self):
         service = PingService(FaultPlan(ping_false_negative=0.01, seed=14))
