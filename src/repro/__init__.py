@@ -31,6 +31,10 @@ Packages:
 * :mod:`repro.scenarios` — named chaos scenarios: adversarial load
   shapers, scripted correlated failures, per-peer overload protection,
   and SLO specs evaluated into schema-validated verdicts.
+* :mod:`repro.live` — live asyncio runtime: hundreds of in-process
+  nodes over a loopback transport with SWIM-style membership, a
+  retry/timeout/backoff request layer, supervised restarts, and
+  degradation into the catch-up store.
 """
 
 from repro.core.config import SelectConfig
@@ -69,7 +73,23 @@ from repro.telemetry import (
     use_registry,
     use_tracer,
 )
-from repro.util.exceptions import FaultInjectionError, PartitionError
+from repro.live import (
+    LiveCluster,
+    LiveConfig,
+    LiveScenario,
+    get_live_scenario,
+    live_scenario_names,
+    run_live_scenario,
+)
+from repro.util.exceptions import (
+    DeadlineExceeded,
+    FaultInjectionError,
+    PartitionError,
+    PeerUnreachable,
+    ReproError,
+    RetryBudgetExhausted,
+    TransientError,
+)
 
 __version__ = "1.0.0"
 
@@ -93,6 +113,17 @@ __all__ = [
     "RingPartition",
     "FaultInjectionError",
     "PartitionError",
+    "ReproError",
+    "TransientError",
+    "DeadlineExceeded",
+    "RetryBudgetExhausted",
+    "PeerUnreachable",
+    "LiveCluster",
+    "LiveConfig",
+    "LiveScenario",
+    "get_live_scenario",
+    "live_scenario_names",
+    "run_live_scenario",
     "capture_snapshot",
     "load_snapshot",
     "restore_snapshot",

@@ -71,10 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "report", "snapshot", "scenario"],
+        choices=sorted(EXPERIMENTS) + ["all", "report", "snapshot", "scenario", "live"],
         help="which artifact to regenerate, 'report' to render a telemetry dir, "
-        "'snapshot' to save a converged overlay, or 'scenario' to run a named "
-        "chaos scenario to an SLO verdict",
+        "'snapshot' to save a converged overlay, 'scenario' to run a named "
+        "chaos scenario to an SLO verdict, or 'live' to run a scripted "
+        "asyncio cluster with SWIM membership",
     )
     parser.add_argument(
         "dir",
@@ -82,12 +83,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="telemetry directory ('report'), snapshot directory ('snapshot'), "
-        "or scenario name ('scenario')",
+        "or scenario name ('scenario'/'live')",
     )
     parser.add_argument(
         "--list",
         action="store_true",
-        help="with 'scenario': list the catalog and exit",
+        help="with 'scenario'/'live': list the catalog and exit",
+    )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="with 'live': which scripted scenario to run "
+        "(alternative to the positional name)",
+    )
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="with 'live': cluster size (alias for --num-nodes)",
     )
     parser.add_argument(
         "--unprotected",
@@ -244,6 +258,85 @@ def _run_scenario(args) -> int:
     return 0 if verdict["passed"] else 1
 
 
+def _run_live(args) -> int:
+    """Run one scripted live-cluster scenario and report its verdict."""
+    import asyncio
+
+    from repro.live import get_live_scenario, live_scenario_names, run_live_scenario
+
+    if args.list:
+        for name in live_scenario_names():
+            print(f"{name:20s} {get_live_scenario(name).description}")
+        return 0
+    name = args.scenario or args.dir
+    if not name:
+        print(
+            "usage: select-repro live --scenario NAME [--nodes N] "
+            "[--seed S] [--telemetry DIR] (or --list)",
+            file=sys.stderr,
+        )
+        return 2
+    nodes = args.nodes if args.nodes is not None else (args.num_nodes or 100)
+    seed = args.seed if args.seed is not None else 2018
+    registry = MetricsRegistry()
+    result = asyncio.run(
+        run_live_scenario(name, num_nodes=nodes, seed=seed, registry=registry)
+    )
+
+    ok = (
+        result["membership_converged"]
+        and result["doctor_ok"]
+        and result["unaccounted"] == 0
+        and result["eventual_delivery_ratio"] >= 0.99
+        and not result["gave_up_nodes"]
+    )
+    print(
+        f"live {result['scenario']}: {'PASS' if ok else 'FAIL'} "
+        f"(n={result['num_nodes']}, seed={result['seed']})"
+    )
+    print(
+        f"  eventual delivery  {result['eventual_delivery_ratio']:.4f}  "
+        f"({result['delivered_live']} live + {result['recovered_catchup']} caught up "
+        f"of {result['intended_pairs']} intended pairs)"
+    )
+    print(
+        f"  degraded           {result['shed_pairs']} shed to catch-up, "
+        f"{result['pending_catchup']} still pending, "
+        f"{result['subscriber_dead']} dead subscribers, "
+        f"{result['unaccounted']} unaccounted"
+    )
+    conv = result["convergence_s"]
+    membership = (
+        f"reconverged {conv:.2f}s after the last fault"
+        if result["membership_converged"] and conv is not None
+        else ("converged" if result["membership_converged"] else "NOT converged")
+    )
+    print(f"  membership         {membership}")
+    print(f"  overlay doctor     {'clean' if result['doctor_ok'] else 'VIOLATIONS'}")
+    if result["gave_up_nodes"]:
+        print(f"  supervisor         gave up on nodes {result['gave_up_nodes']}")
+
+    if args.telemetry:
+        import os
+
+        from repro.telemetry.export import write_telemetry
+        from repro.util.atomicio import atomic_write_json
+
+        meta = {"live_scenario": name, "seed": seed, "num_nodes": nodes}
+        paths = write_telemetry(
+            args.telemetry, registry, meta=meta, provenance={"root_seed": seed}
+        )
+        atomic_write_json(
+            os.path.join(args.telemetry, "live.json"), result, indent=2, sort_keys=True
+        )
+        print(
+            f"[telemetry written to {args.telemetry}: "
+            f"{', '.join(sorted(paths) + ['live.json'])}]",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
 def _resume_snapshot_id(config: ExperimentConfig) -> "str | None":
     """Manifest id of the snapshot the run resumes from (None when cold)."""
     if not config.resume_from:
@@ -259,6 +352,8 @@ def main(argv=None) -> int:
         return _run_report(args)
     if args.experiment == "scenario":
         return _run_scenario(args)
+    if args.experiment == "live":
+        return _run_live(args)
     config = config_from_args(args)
     if args.experiment == "snapshot":
         return _run_snapshot(args, config)

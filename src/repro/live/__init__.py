@@ -1,0 +1,39 @@
+"""Live asyncio runtime: real concurrency over the SELECT overlay.
+
+The lock-step simulator (:mod:`repro.sim`) replays failures
+synchronously; this package runs the system for real — hundreds of
+in-process :class:`~repro.live.node.PeerNode` tasks exchanging typed
+:class:`~repro.live.envelope.Envelope`s over a
+:class:`~repro.live.transport.LoopbackTransport` whose loss/partition
+model is the familiar :class:`~repro.net.faults.FaultPlan`, with
+SWIM-style membership, a retry/timeout/backoff request layer, a
+restarting :class:`~repro.live.supervisor.NodeSupervisor`, and graceful
+degradation into the catch-up store. :class:`~repro.live.cluster.LiveCluster`
+is the harness; ``select-repro live`` the CLI entry point.
+"""
+
+from repro.live.cluster import LiveCluster, run_live_scenario
+from repro.live.config import LiveConfig
+from repro.live.envelope import Envelope
+from repro.live.membership import ALIVE, DEAD, SUSPECT, MembershipView
+from repro.live.node import PeerNode
+from repro.live.scenarios import LiveScenario, get_live_scenario, live_scenario_names
+from repro.live.supervisor import NodeSupervisor
+from repro.live.transport import LoopbackTransport
+
+__all__ = [
+    "ALIVE",
+    "DEAD",
+    "SUSPECT",
+    "Envelope",
+    "LiveCluster",
+    "LiveConfig",
+    "LiveScenario",
+    "LoopbackTransport",
+    "MembershipView",
+    "NodeSupervisor",
+    "PeerNode",
+    "get_live_scenario",
+    "live_scenario_names",
+    "run_live_scenario",
+]

@@ -1,0 +1,403 @@
+"""The live cluster harness: hundreds of asyncio nodes over one overlay.
+
+:class:`LiveCluster` promotes the simulator's lock-step world into real
+concurrency: it builds the same social graph and SELECT overlay a
+scenario run would, then boots one :class:`~repro.live.node.PeerNode`
+per participant on a :class:`~repro.live.transport.LoopbackTransport`
+whose loss/partition model is a :class:`~repro.net.faults.FaultPlan`,
+supervised by a :class:`~repro.live.supervisor.NodeSupervisor`.
+
+One :meth:`run` executes a scripted :class:`~repro.live.scenarios.LiveScenario`:
+
+* a **publish loop** picks seeded publishers and pushes notifications
+  along overlay routes through the request layer (per-message deadline,
+  bounded backoff retries); a publish that exhausts its budget is *shed*
+  to the PR 2 :class:`~repro.core.stabilize.CatchUpStore` instead of
+  being lost;
+* a **maintenance loop** runs the existing repair path
+  (:class:`~repro.core.stabilize.Stabilizer` rounds gated by SWIM's
+  verdicts — a member the cluster majority confirmed DEAD is treated as
+  offline by repair even while its host is merely slow) and drains the
+  catch-up store by anti-entropy;
+* the **scenario script** crashes a seeded fraction of nodes and opens
+  ring partitions on the shared wall clock.
+
+The run ends with a settle phase that waits for *membership
+reconvergence* (every running node's non-DEAD set equals the truth-alive
+set) and reports eventual delivery accounting: every intended
+``(notification, subscriber)`` pair is classified as delivered live,
+recovered by catch-up, still pending in a buffer, lost to buffer
+eviction, or void because its subscriber died — nothing is silently
+dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.core.config import SelectConfig
+from repro.core.select import SelectOverlay
+from repro.core.stabilize import CatchUpStore, Stabilizer
+from repro.graphs.datasets import load_dataset
+from repro.live.config import LiveConfig
+from repro.live.node import PeerNode
+from repro.live.scenarios import LiveScenario, get_live_scenario
+from repro.live.supervisor import NodeSupervisor
+from repro.live.transport import LoopbackTransport
+from repro.net.faults import FaultPlan, PingService, RingPartition
+from repro.overlay.doctor import check_overlay
+from repro.telemetry.registry import get_registry
+from repro.util.exceptions import TransientError
+from repro.util.rng import RngStream
+
+__all__ = ["LiveCluster", "run_live_scenario"]
+
+
+class LiveCluster:
+    """Boot, script, and account for one live run."""
+
+    def __init__(
+        self,
+        num_nodes: int = 100,
+        scenario: "LiveScenario | str" = "calm",
+        seed: int = 2018,
+        dataset: str = "facebook",
+        config: "LiveConfig | None" = None,
+        registry=None,
+    ):
+        if isinstance(scenario, str):
+            scenario = get_live_scenario(scenario)
+        self.scenario = scenario
+        self.config = config if config is not None else LiveConfig()
+        self.seed = int(seed)
+        self.registry = registry if registry is not None else get_registry()
+        stream = RngStream(seed)
+
+        def child_seed(label: str) -> int:
+            return int(stream.child(f"live:{scenario.name}:{label}").integers(2**31 - 1))
+
+        self.graph = load_dataset(
+            dataset,
+            num_nodes=num_nodes,
+            seed=stream.child(f"live:{scenario.name}:graph:{dataset}:{num_nodes}"),
+        )
+        self.overlay = SelectOverlay(self.graph, config=SelectConfig()).build(
+            seed=child_seed("overlay")
+        )
+        self.n = self.graph.num_nodes
+
+        partitions = ()
+        if scenario.partition_cut is not None:
+            partitions = (
+                RingPartition(
+                    cut=scenario.partition_cut,
+                    start=scenario.partition_start,
+                    end=scenario.partition_end,
+                ),
+            )
+        self.faults = FaultPlan(
+            loss_rate=scenario.loss_rate,
+            partitions=partitions,
+            seed=child_seed("faults"),
+            registry=self.registry,
+        )
+        self.transport = LoopbackTransport(
+            ids=self.overlay.ids,
+            faults=self.faults,
+            seed=child_seed("transport"),
+            registry=self.registry,
+        )
+        self.transport.configure_delay(self.config.delay_mean, self.config.delay_jitter)
+        self.supervisor = NodeSupervisor(
+            config=self.config, seed=child_seed("supervisor"), registry=self.registry
+        )
+        self.nodes: "dict[int, PeerNode]" = {
+            v: PeerNode(
+                v,
+                self.transport,
+                range(self.n),
+                config=self.config,
+                seed=child_seed(f"node:{v}"),
+                registry=self.registry,
+            )
+            for v in range(self.n)
+        }
+        for node in self.nodes.values():
+            node.truth_alive = self.transport.is_registered
+
+        # The repair path the SWIM verdicts feed (PR 4/5 machinery reused
+        # verbatim): stabilization through the noisy ping service, plus
+        # store-and-forward catch-up for shed notifications.
+        self.pings = PingService(self.faults, registry=self.registry)
+        self.stabilizer = Stabilizer(self.overlay, self.pings, registry=self.registry)
+        self.catchup = CatchUpStore(self.overlay, faults=self.faults, registry=self.registry)
+        self.router = self.overlay.make_router()
+
+        self._rng = stream.child(f"live:{scenario.name}:script")
+        #: every intended (notify_seq, subscriber) pair, with publish metadata.
+        self.intended: "list[tuple[int, int, int]]" = []  # (seq, publisher, subscriber)
+        #: pairs delivered live (publisher got the end-to-end ack).
+        self.acked: "set[tuple[int, int]]" = set()
+        #: pairs shed to catch-up after the retry budget (accounted, not lost).
+        self.shed_pairs: "set[tuple[int, int]]" = set()
+        self.convergence_s: "float | None" = None
+        self._g_convergence = self.registry.gauge(
+            "live.convergence_s", "seconds from last injected fault to membership convergence"
+        )
+        self._g_eventual = self.registry.gauge(
+            "live.eventual_delivery_ratio", "delivered+recovered over intended pairs"
+        )
+
+    # -- truth and belief ------------------------------------------------------
+
+    def truth_alive(self, v: int) -> bool:
+        """Actual liveness: the node is registered on the fabric."""
+        return self.transport.is_registered(v)
+
+    def truth_online(self) -> np.ndarray:
+        return np.array([self.truth_alive(v) for v in range(self.n)], dtype=bool)
+
+    def majority_dead(self) -> "set[int]":
+        """Members a majority of running nodes have confirmed DEAD."""
+        running = [v for v in range(self.n) if self.truth_alive(v)]
+        if not running:
+            return set()
+        counts: "dict[int, int]" = {}
+        for v in running:
+            for m in self.nodes[v].view.dead_members():
+                counts[m] = counts.get(m, 0) + 1
+        quorum = len(running) // 2 + 1
+        return {m for m, c in counts.items() if c >= quorum}
+
+    def membership_converged(self) -> bool:
+        """Every running node's non-DEAD set equals the truth-alive set."""
+        truth = frozenset(v for v in range(self.n) if self.truth_alive(v))
+        for v in truth:
+            if frozenset(self.nodes[v].view.alive_members()) != truth:
+                return False
+        return True
+
+    # -- the run ---------------------------------------------------------------
+
+    async def run(self) -> dict:
+        """Execute the scenario; returns the accounting/verdict dict."""
+        sc = self.scenario
+        self.transport.start_clock()
+        for node in self.nodes.values():
+            self.supervisor.supervise(node)
+        maintenance = asyncio.create_task(self._maintenance_loop())
+        try:
+            await asyncio.sleep(0.3)  # membership warm-up
+            script = asyncio.create_task(self._script_loop())
+            await self._publish_loop(sc.duration)
+            await script
+            await self._settle(sc.settle)
+        finally:
+            maintenance.cancel()
+            try:
+                await maintenance
+            except asyncio.CancelledError:
+                pass
+        result = self._account()
+        await self.supervisor.shutdown()
+        return result
+
+    async def _script_loop(self) -> None:
+        """Inject the scenario's scripted crashes at their instants."""
+        sc = self.scenario
+        if sc.crash_fraction <= 0.0:
+            return
+        delay = sc.crash_at - self.transport.now()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        count = int(round(sc.crash_fraction * self.n))
+        victims = self._rng.choice(self.n, size=count, replace=False)
+        for v in victims:
+            self.supervisor.kill(int(v))
+
+    async def _publish_loop(self, duration: float) -> None:
+        sc = self.scenario
+        deadline = self.transport.now() + duration
+        inflight: "set[asyncio.Task]" = set()
+        while self.transport.now() < deadline:
+            publisher = int(self._rng.integers(self.n))
+            if self.truth_alive(publisher):
+                task = asyncio.create_task(self._publish_once(publisher))
+                inflight.add(task)
+                task.add_done_callback(inflight.discard)
+            await asyncio.sleep(sc.publish_interval)
+        if inflight:
+            await asyncio.gather(*inflight, return_exceptions=True)
+
+    async def _publish_once(self, publisher: int) -> None:
+        """One publish: route to every interested friend, shed what fails."""
+        node = self.nodes[publisher]
+        if not node.running:
+            return
+        friends = [int(f) for f in self.graph.neighbors(publisher)]
+        if not friends:
+            return
+        seq = self.catchup.new_notification()
+        now = self.transport.now()
+        truth = self.truth_online()
+        believed = np.zeros(self.n, dtype=bool)
+        for m in node.view.alive_members():
+            believed[m] = True
+        sends = []
+        for s in friends:
+            if not truth[s]:
+                # Offline friend: catch-up delivers it as a bonus later,
+                # exactly like the simulator's counted=False deposits.
+                self.catchup.deposit(seq, publisher, s, False, truth, now)
+                continue
+            self.intended.append((seq, publisher, s))
+            if not node.view.is_alive(s):
+                # Membership already evicted the subscriber (it may be a
+                # false eviction): degrade straight to catch-up.
+                self.shed_pairs.add((seq, s))
+                self.catchup.deposit(seq, publisher, s, True, truth, now)
+                continue
+            route = self.router.route(publisher, s, online=believed)
+            path = route.path if route.delivered else [publisher, s]
+            sends.append((s, path))
+
+        async def deliver(sub: int, path: "list[int]") -> None:
+            try:
+                await node.publish_along(path, seq, publisher)
+                self.acked.add((seq, sub))
+            except TransientError:
+                # Retry budget spent (relay crash, partition, loss storm):
+                # degrade, don't drop — park it for anti-entropy.
+                self.shed_pairs.add((seq, sub))
+                self.catchup.deposit(
+                    seq, publisher, sub, True, self.truth_online(), self.transport.now()
+                )
+
+        if sends:
+            await asyncio.gather(*(deliver(s, path) for s, path in sends))
+
+    async def _maintenance_loop(self) -> None:
+        """Repair + anti-entropy on a steady cadence, SWIM-gated."""
+        while True:
+            await asyncio.sleep(0.25)
+            now = self.transport.now()
+            truth = self.truth_online()
+            # SWIM feeds repair: members the cluster majority confirmed
+            # DEAD are treated as offline even if their host still runs.
+            repair_online = truth.copy()
+            for m in self.majority_dead():
+                repair_online[m] = False
+            if int(repair_online.sum()) >= 2:
+                self.stabilizer.round(repair_online, time=now)
+            self.catchup.deliver(truth, time=now)
+            # Catch-up handover counts as delivery at the subscriber node
+            # too, so the node-level dedup set stays authoritative.
+            for sub, seen in self.catchup._seen.items():
+                node = self.nodes[sub]
+                if node.running:
+                    node.delivered |= seen
+
+    async def _settle(self, budget: float) -> None:
+        """Wait (bounded) for membership convergence + catch-up drain."""
+        fault_clear = max(
+            self.scenario.crash_at if self.scenario.crash_fraction > 0 else 0.0,
+            self.scenario.partition_end if self.scenario.partition_cut else 0.0,
+        )
+        deadline = self.transport.now() + budget
+        while self.transport.now() < deadline:
+            if self.membership_converged():
+                if self.convergence_s is None:
+                    self.convergence_s = max(0.0, self.transport.now() - fault_clear)
+                    self._g_convergence.set(self.convergence_s)
+                if self._eventual_pairs_settled():
+                    return
+            await asyncio.sleep(0.2)
+
+    def _eventual_pairs_settled(self) -> bool:
+        """No intended pair with a live subscriber is still undelivered-and-pending."""
+        for seq, _publisher, sub in self.intended:
+            if (seq, sub) in self.acked:
+                continue
+            if not self.truth_alive(sub):
+                continue
+            if seq not in self.catchup._seen.get(sub, set()):
+                return False
+        return True
+
+    # -- accounting -----------------------------------------------------------------
+
+    def _account(self) -> dict:
+        """Classify every intended pair; nothing may be silently lost."""
+        truth = self.truth_online()
+        pending: "set[tuple[int, int]]" = set()
+        for holder, buf in self.catchup.buffers.items():
+            for seq, sub, _counted in buf:
+                pending.add((seq, sub))
+        delivered_live = 0
+        recovered = 0
+        still_pending = 0
+        subscriber_dead = 0
+        unaccounted = 0
+        for seq, _publisher, sub in self.intended:
+            if (seq, sub) in self.acked:
+                delivered_live += 1
+            elif seq in self.catchup._seen.get(sub, set()) or seq in self.nodes[sub].delivered:
+                recovered += 1
+            elif not truth[sub]:
+                subscriber_dead += 1
+            elif (seq, sub) in pending:
+                still_pending += 1
+            elif self.catchup.stats.evictions > 0:
+                # Accounted as a buffer eviction (bounded-memory tradeoff,
+                # visible in catchup.evictions) rather than silent loss.
+                still_pending += 1
+            else:
+                unaccounted += 1
+        live_pairs = delivered_live + recovered + still_pending + unaccounted
+        eventual = (
+            (delivered_live + recovered) / live_pairs if live_pairs else 1.0
+        )
+        self._g_eventual.set(eventual)
+        doctor = check_overlay(self.overlay, online=self.truth_online())
+        return {
+            "scenario": self.scenario.name,
+            "num_nodes": self.n,
+            "seed": self.seed,
+            "intended_pairs": len(self.intended),
+            "delivered_live": delivered_live,
+            "recovered_catchup": recovered,
+            "pending_catchup": still_pending,
+            "subscriber_dead": subscriber_dead,
+            "unaccounted": unaccounted,
+            "eventual_delivery_ratio": eventual,
+            "shed_pairs": len(self.shed_pairs),
+            "membership_converged": self.membership_converged(),
+            "convergence_s": self.convergence_s,
+            "doctor_ok": bool(doctor.ok),
+            "catchup": self.catchup.stats.as_dict(),
+            "stabilize": self.stabilizer.stats.as_dict(),
+            "gave_up_nodes": sorted(self.supervisor.gave_up()),
+        }
+
+
+async def run_live_scenario(
+    scenario: "LiveScenario | str",
+    *,
+    num_nodes: int = 100,
+    seed: int = 2018,
+    dataset: str = "facebook",
+    config: "LiveConfig | None" = None,
+    registry=None,
+) -> dict:
+    """Build one :class:`LiveCluster` and run it to its accounting dict."""
+    cluster = LiveCluster(
+        num_nodes=num_nodes,
+        scenario=scenario,
+        seed=seed,
+        dataset=dataset,
+        config=config,
+        registry=registry,
+    )
+    return await cluster.run()

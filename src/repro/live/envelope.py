@@ -1,0 +1,82 @@
+"""Typed message envelopes for the live runtime.
+
+Every byte that crosses the loopback transport is an :class:`Envelope`:
+a message *kind* (the protocol verb), source and destination node ids, a
+per-sender monotonically increasing sequence number (``seq``), an
+optional correlation id (``corr``) tying a reply to the request that
+caused it, and a JSON-safe payload dict. Kinds come in request/reply
+pairs; :meth:`Envelope.reply` builds the response with src/dst swapped
+and the correlation id preserved, so the request layer can resolve the
+waiting future without inspecting the payload.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Envelope",
+    "PING",
+    "PING_REQ",
+    "ACK",
+    "GOSSIP",
+    "NOTIFY",
+    "NOTIFY_ACK",
+    "KINDS",
+]
+
+#: direct liveness probe ("are you there?"); answered with ACK.
+PING = "ping"
+#: indirect probe request ("please ping X for me"); answered with ACK
+#: whose payload carries ``alive``.
+PING_REQ = "ping-req"
+#: generic acknowledgement / reply envelope.
+ACK = "ack"
+#: one-way membership digest push (fire-and-forget, no reply).
+GOSSIP = "gossip"
+#: notification delivery along a source-routed path; the final hop
+#: answers the *publisher* with NOTIFY_ACK.
+NOTIFY = "notify"
+#: end-to-end delivery acknowledgement from subscriber to publisher.
+NOTIFY_ACK = "notify-ack"
+
+KINDS = frozenset({PING, PING_REQ, ACK, GOSSIP, NOTIFY, NOTIFY_ACK})
+
+_corr_counter = itertools.count(1)
+
+
+def next_correlation_id() -> int:
+    """Process-unique correlation id (monotonic; never reused)."""
+    return next(_corr_counter)
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One typed message on the wire."""
+
+    kind: str
+    src: int
+    dst: int
+    #: per-sender monotonically increasing sequence number.
+    seq: int
+    #: correlation id: replies echo the request's; 0 = unsolicited.
+    corr: int = 0
+    payload: dict = field(default_factory=dict)
+
+    def reply(self, kind: str, seq: int, payload: "dict | None" = None) -> "Envelope":
+        """Response envelope: src/dst swapped, correlation id preserved."""
+        return Envelope(
+            kind=kind,
+            src=self.dst,
+            dst=self.src,
+            seq=seq,
+            corr=self.corr,
+            payload=payload if payload is not None else {},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Envelope({self.kind} {self.src}->{self.dst} "
+            f"seq={self.seq} corr={self.corr})"
+        )

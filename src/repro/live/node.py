@@ -1,0 +1,516 @@
+"""The live peer: one asyncio ``PeerNode`` per SELECT participant.
+
+A node owns three long-lived tasks —
+
+* the **receive loop** drains its transport inbox and dispatches each
+  envelope to a handler (handlers that must themselves wait on the
+  network, like an indirect ping-req, run as their own task so the loop
+  never stalls);
+* the **gossip loop** bumps the node's heartbeat and pushes its
+  membership digest to a few believed-alive targets every
+  ``gossip_interval`` (occasionally also to a believed-dead member —
+  the resurrection channel after a healed partition);
+* the **probe loop** runs the SWIM failure detector: direct ping, then
+  ``indirect_probes`` ping-req helpers, then one suspicion increment;
+  ``suspicion_threshold`` consecutive failed rounds confirm DEAD.
+
+Requests go through :meth:`PeerNode.request`: per-attempt timeouts,
+bounded retries with exponential, jittered backoff (the
+:class:`~repro.scenarios.overload.OverloadGuard` discipline transplanted
+to wall clock), and the structured failure taxonomy —
+:class:`~repro.util.exceptions.PeerUnreachable` when membership already
+confirmed the peer dead, :class:`~repro.util.exceptions.DeadlineExceeded`
+when the end-to-end deadline elapses, and
+:class:`~repro.util.exceptions.RetryBudgetExhausted` when every attempt
+timed out.
+
+Notification delivery is source-routed: the publisher computes an
+overlay path and the NOTIFY envelope hops relay to relay; the final
+subscriber records the notification (deduplicating by sequence number —
+delivery is at-least-once) and acks the *publisher* directly. A relay
+crash or mid-path partition surfaces to the publisher as a timeout, and
+the publisher's exhausted retry budget is what degrades the publish into
+the catch-up path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.live.config import LiveConfig
+from repro.live.envelope import (
+    ACK,
+    GOSSIP,
+    NOTIFY,
+    NOTIFY_ACK,
+    PING,
+    PING_REQ,
+    Envelope,
+    next_correlation_id,
+)
+from repro.live.membership import MembershipView
+from repro.live.transport import LoopbackTransport
+from repro.telemetry.registry import get_registry
+from repro.util.exceptions import (
+    DeadlineExceeded,
+    PeerUnreachable,
+    RetryBudgetExhausted,
+    TransientError,
+)
+from repro.util.rng import as_generator
+
+__all__ = ["PeerNode"]
+
+
+class PeerNode:
+    """One live SELECT participant on the loopback fabric."""
+
+    def __init__(
+        self,
+        node_id: int,
+        transport: LoopbackTransport,
+        members,
+        config: "LiveConfig | None" = None,
+        seed=None,
+        registry=None,
+    ):
+        self.node_id = int(node_id)
+        self.transport = transport
+        self.config = config if config is not None else LiveConfig()
+        self.view = MembershipView(
+            node_id, members, suspicion_threshold=self.config.suspicion_threshold
+        )
+        self._rng = as_generator(seed)
+        self._seq = 0
+        self.inbox: "asyncio.Queue | None" = None
+        self._tasks: list[asyncio.Task] = []
+        self._handler_tasks: set[asyncio.Task] = set()
+        self._pending: dict[int, asyncio.Future] = {}
+        #: sequence numbers of notifications this node has received.
+        self.delivered: set[int] = set()
+        self.running = False
+        #: member -> loop time its heartbeat last advanced (staleness).
+        self._last_advance: dict[int, float] = {}
+        #: members with a probe round currently in flight.
+        self._probing: set[int] = set()
+
+        registry = registry if registry is not None else get_registry()
+        self._m_requests = registry.counter("live.requests", "request/reply exchanges started")
+        self._m_retries = registry.counter(
+            "live.request_retries", "request attempts beyond the first"
+        )
+        self._m_deadline = registry.counter(
+            "live.deadline_exceeded", "requests that blew their end-to-end deadline"
+        )
+        self._m_exhausted = registry.counter(
+            "live.retry_exhausted", "requests whose every attempt timed out"
+        )
+        self._m_unreachable = registry.counter(
+            "live.peer_unreachable", "requests refused: membership says peer is dead"
+        )
+        self._h_request_ms = registry.histogram(
+            "live.request_ms",
+            (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0),
+            "request round-trip latency (ms)",
+        )
+        self._h_probe_ms = registry.histogram(
+            "live.probe_ms",
+            (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0),
+            "successful failure-detector probe latency (ms)",
+        )
+        self._m_suspicions = registry.counter(
+            "live.suspicions", "probe rounds that raised suspicion on a member"
+        )
+        self._m_false_suspicions = registry.counter(
+            "live.false_suspicions", "suspicions raised against a truth-alive member"
+        )
+        self._m_confirms = registry.counter(
+            "live.confirmed_dead", "members confirmed DEAD past the suspicion threshold"
+        )
+        self._m_false_confirms = registry.counter(
+            "live.false_confirms", "members confirmed DEAD while truth-alive"
+        )
+        self._m_notify_delivered = registry.counter(
+            "live.notify_delivered", "notifications accepted at their subscriber"
+        )
+        self._m_notify_dupes = registry.counter(
+            "live.notify_duplicates", "redundant notification deliveries deduplicated"
+        )
+        self._m_gossip_rounds = registry.counter("live.gossip_rounds", "gossip rounds run")
+        #: cluster-provided oracle of actual liveness, used only to label
+        #: false suspicions in telemetry — never for protocol decisions.
+        self.truth_alive = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "list[asyncio.Task]":
+        """Register on the fabric and spawn the three protocol loops."""
+        self.inbox = self.transport.register(self.node_id)
+        self.running = True
+        now = asyncio.get_running_loop().time()
+        for m in self.view.heartbeat:
+            self._last_advance.setdefault(m, now)
+        self._probing.clear()
+        self._tasks = [
+            asyncio.create_task(self._recv_loop(), name=f"node{self.node_id}-recv"),
+            asyncio.create_task(self._gossip_loop(), name=f"node{self.node_id}-gossip"),
+            asyncio.create_task(self._probe_loop(), name=f"node{self.node_id}-probe"),
+        ]
+        return self._tasks
+
+    async def stop(self) -> None:
+        """Graceful shutdown: detach from the fabric, cancel every task."""
+        self.running = False
+        self.transport.unregister(self.node_id)
+        tasks = self._tasks + list(self._handler_tasks)
+        self._tasks = []
+        self._handler_tasks.clear()
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        for future in self._pending.values():
+            if not future.done():
+                future.cancel()
+        self._pending.clear()
+
+    def crash(self) -> None:
+        """Abrupt kill: drop off the fabric without any goodbye.
+
+        Tasks are cancelled synchronously; in-flight envelopes to this
+        node are dropped by the transport once the inbox is gone.
+        """
+        self.running = False
+        self.transport.unregister(self.node_id)
+        for task in self._tasks + list(self._handler_tasks):
+            task.cancel()
+        self._tasks = []
+        self._handler_tasks.clear()
+        for future in self._pending.values():
+            if not future.done():
+                future.cancel()
+        self._pending.clear()
+
+    # -- envelope plumbing ------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _send(self, kind: str, dst: int, payload: "dict | None" = None, corr: int = 0) -> None:
+        self.transport.send(
+            Envelope(
+                kind=kind,
+                src=self.node_id,
+                dst=int(dst),
+                seq=self._next_seq(),
+                corr=corr,
+                payload=payload if payload is not None else {},
+            )
+        )
+
+    # -- request layer -----------------------------------------------------------
+
+    async def request(
+        self,
+        dst: int,
+        kind: str,
+        payload: "dict | None" = None,
+        *,
+        timeout: "float | None" = None,
+        retries: "int | None" = None,
+        deadline: "float | None" = None,
+        check_membership: bool = True,
+    ) -> dict:
+        """Send ``kind`` to ``dst`` and await the correlated reply payload.
+
+        Raises :class:`PeerUnreachable` (membership confirmed the peer
+        dead before any attempt), :class:`DeadlineExceeded` (end-to-end
+        deadline elapsed), or :class:`RetryBudgetExhausted` (every
+        attempt within the budget timed out).
+        """
+        cfg = self.config
+        timeout = cfg.request_timeout if timeout is None else float(timeout)
+        retries = cfg.request_retries if retries is None else int(retries)
+        deadline = cfg.request_deadline if deadline is None else deadline
+        if check_membership and not self.view.is_alive(dst):
+            self._m_unreachable.inc()
+            raise PeerUnreachable(
+                f"node {self.node_id}: peer {dst} is confirmed dead by membership"
+            )
+        self._m_requests.inc()
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        backoff = timeout
+        for attempt in range(1 + retries):
+            if deadline is not None and loop.time() - started >= deadline:
+                self._m_deadline.inc()
+                raise DeadlineExceeded(
+                    f"node {self.node_id}: request {kind}->{dst} blew its "
+                    f"{deadline:.3f}s deadline after {attempt} attempts"
+                )
+            if attempt > 0:
+                self._m_retries.inc()
+            corr = next_correlation_id()
+            future: asyncio.Future = loop.create_future()
+            self._pending[corr] = future
+            try:
+                self._send(kind, dst, payload, corr=corr)
+                wait = timeout
+                if deadline is not None:
+                    wait = min(wait, max(0.0, deadline - (loop.time() - started)))
+                reply = await asyncio.wait_for(future, wait)
+                self._h_request_ms.observe((loop.time() - started) * 1000.0)
+                return reply
+            except asyncio.TimeoutError:
+                pass
+            except asyncio.CancelledError:
+                if self.running:
+                    raise  # genuine cancellation of the awaiting task
+                # stop()/crash() cancelled our pending future: surface it
+                # as a retryable failure so callers degrade to catch-up
+                # instead of leaking CancelledError past accounting.
+                raise TransientError(
+                    f"node {self.node_id} stopped while awaiting "
+                    f"{kind}->{dst}"
+                ) from None
+            finally:
+                self._pending.pop(corr, None)
+            if attempt < retries:
+                # Exponential, jittered backoff before the next attempt
+                # (the OverloadGuard discipline on a real clock). The
+                # jitter desynchronizes retry storms across nodes.
+                sleep = min(backoff * (0.5 + self._rng.random()), cfg.request_backoff_max)
+                backoff *= cfg.request_backoff
+                if deadline is not None:
+                    sleep = min(sleep, max(0.0, deadline - (loop.time() - started)))
+                if sleep > 0:
+                    await asyncio.sleep(sleep)
+        if deadline is not None and loop.time() - started >= deadline:
+            self._m_deadline.inc()
+            raise DeadlineExceeded(
+                f"node {self.node_id}: request {kind}->{dst} blew its "
+                f"{deadline:.3f}s deadline"
+            )
+        self._m_exhausted.inc()
+        raise RetryBudgetExhausted(
+            f"node {self.node_id}: request {kind}->{dst} spent "
+            f"{1 + retries} attempts without a reply"
+        )
+
+    # -- notification delivery -----------------------------------------------------
+
+    async def publish_along(self, path: "list[int]", seq: int, publisher: int) -> None:
+        """Push one notification along a source-routed overlay ``path``.
+
+        ``path[0]`` must be this node; the final element is the
+        subscriber. Raises the request-layer taxonomy on failure.
+        """
+        payload = {"publisher": int(publisher), "notify_seq": int(seq), "path": list(path)}
+        await self.request(path[1] if len(path) > 1 else path[-1], NOTIFY, payload)
+
+    # -- receive path ---------------------------------------------------------------
+
+    async def _recv_loop(self) -> None:
+        assert self.inbox is not None
+        while self.running:
+            env = await self.inbox.get()
+            if env.kind in (ACK, NOTIFY_ACK):
+                future = self._pending.get(env.corr)
+                if future is not None and not future.done():
+                    future.set_result(env.payload)
+                continue
+            if env.kind == GOSSIP:
+                advanced = self.view.merge(env.payload.get("digest", {}))
+                if advanced:
+                    now = asyncio.get_running_loop().time()
+                    for m in advanced:
+                        self._last_advance[m] = now
+                continue
+            if env.kind == PING:
+                self._send(ACK, env.src, {}, corr=env.corr)
+                continue
+            # Handlers that wait on the network run as their own task so
+            # the receive loop keeps draining.
+            if env.kind == PING_REQ:
+                self._spawn_handler(self._handle_ping_req(env))
+            elif env.kind == NOTIFY:
+                self._spawn_handler(self._handle_notify(env))
+
+    def _spawn_handler(self, coro) -> None:
+        task = asyncio.create_task(coro)
+        self._handler_tasks.add(task)
+        task.add_done_callback(self._handler_tasks.discard)
+
+    async def _handle_ping_req(self, env: Envelope) -> None:
+        """Indirect probe: ping the target on the requester's behalf."""
+        target = int(env.payload["target"])
+        alive = False
+        try:
+            await self.request(
+                target,
+                PING,
+                timeout=self.config.probe_timeout,
+                retries=0,
+                check_membership=False,
+            )
+            alive = True
+            self.view.probe_succeeded(target)
+        except TransientError:
+            alive = False
+        self._send(ACK, env.src, {"alive": alive}, corr=env.corr)
+
+    async def _handle_notify(self, env: Envelope) -> None:
+        """Relay or accept one source-routed notification."""
+        path = [int(v) for v in env.payload["path"]]
+        seq = int(env.payload["notify_seq"])
+        publisher = int(env.payload["publisher"])
+        try:
+            me = path.index(self.node_id)
+        except ValueError:
+            return  # mis-routed: not on the path, drop
+        if me == len(path) - 1:
+            # Final hop: accept (at-least-once, dedup by seq) and ack the
+            # publisher directly.
+            if seq in self.delivered:
+                self._m_notify_dupes.inc()
+            else:
+                self.delivered.add(seq)
+                self._m_notify_delivered.inc()
+            self._send(NOTIFY_ACK, publisher, {"notify_seq": seq}, corr=env.corr)
+            return
+        # Relay: forward one hop along the path, same correlation id, so
+        # the subscriber's ack resolves the publisher's original future.
+        self._send(NOTIFY, path[me + 1], env.payload, corr=env.corr)
+
+    # -- gossip loop -------------------------------------------------------------------
+
+    async def _gossip_loop(self) -> None:
+        cfg = self.config
+        while self.running:
+            await asyncio.sleep(cfg.gossip_interval * (0.5 + self._rng.random()))
+            self.view.self_beat()
+            self._m_gossip_rounds.inc()
+            digest = {"digest": self.view.digest()}
+            targets = [m for m in self.view.alive_members() if m != self.node_id]
+            fanout = min(cfg.gossip_fanout, len(targets))
+            if fanout:
+                picks = self._rng.choice(len(targets), size=fanout, replace=False)
+                for i in picks:
+                    self._send(GOSSIP, targets[int(i)], digest)
+            dead = self.view.dead_members()
+            if dead and self._rng.random() < cfg.gossip_resurrect_p:
+                # Resurrection channel: a believed-dead member that is in
+                # fact back (healed partition, supervisor restart) learns
+                # we exist and refutes through its own gossip.
+                self._send(GOSSIP, dead[int(self._rng.integers(len(dead)))], digest)
+
+    # -- probe loop ---------------------------------------------------------------------
+
+    #: concurrent probe rounds one node may have in flight. Failed rounds
+    #: are slow (direct timeout + indirect helpers); overlapping them is
+    #: what keeps detection latency at O(probe_interval), not O(timeout).
+    _MAX_INFLIGHT_PROBES = 4
+
+    def _next_probe_target(self) -> "int | None":
+        """Stalest believed-usable member (heartbeat advanced least recently).
+
+        A dead member's heartbeat never advances again, so staleness
+        focuses every node's probes on exactly the members that need a
+        verdict; a live member's gossip keeps resetting its staleness.
+        A seeded pick among the stalest few desynchronizes nodes enough
+        that helpers stay responsive.
+        """
+        candidates = [
+            m
+            for m in self.view.alive_members()
+            if m != self.node_id and m not in self._probing
+        ]
+        if not candidates:
+            return None
+        candidates.sort(key=lambda m: (self._last_advance.get(m, 0.0), m))
+        pool = candidates[: min(3, len(candidates))]
+        return pool[int(self._rng.integers(len(pool)))]
+
+    async def _probe_loop(self) -> None:
+        cfg = self.config
+        while self.running:
+            await asyncio.sleep(cfg.probe_interval * (0.5 + self._rng.random()))
+            if len(self._probing) >= self._MAX_INFLIGHT_PROBES:
+                continue
+            target = self._next_probe_target()
+            if target is None:
+                continue
+            self._probing.add(target)
+            self._spawn_handler(self._probe_guarded(target))
+
+    async def _probe_guarded(self, target: int) -> None:
+        try:
+            await self._probe_once(target)
+        except TransientError:
+            pass  # node stopped mid-round; the verdict no longer matters
+        finally:
+            self._probing.discard(target)
+
+    async def _probe_once(self, target: int) -> None:
+        """One SWIM probe round: direct ping, then indirect, then suspicion."""
+        cfg = self.config
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        try:
+            await self.request(
+                target, PING, timeout=cfg.probe_timeout, retries=0, check_membership=False
+            )
+            self._h_probe_ms.observe((loop.time() - started) * 1000.0)
+            self.view.probe_succeeded(target)
+            self._last_advance[target] = loop.time()
+            return
+        except (RetryBudgetExhausted, DeadlineExceeded):
+            pass
+        if await self._indirect_probe(target):
+            self.view.probe_succeeded(target)
+            self._last_advance[target] = loop.time()
+            return
+        truth = self.truth_alive
+        actually_alive = bool(truth(target)) if truth is not None else False
+        self._m_suspicions.inc()
+        if actually_alive:
+            self._m_false_suspicions.inc()
+        if self.view.probe_failed(target):
+            self._m_confirms.inc()
+            if actually_alive:
+                self._m_false_confirms.inc()
+
+    async def _indirect_probe(self, target: int) -> bool:
+        """Ask up to ``indirect_probes`` helpers to ping ``target``."""
+        cfg = self.config
+        helpers = [
+            m
+            for m in self.view.alive_members()
+            if m != self.node_id and m != target
+        ]
+        if not helpers or cfg.indirect_probes == 0:
+            return False
+        k = min(cfg.indirect_probes, len(helpers))
+        picks = self._rng.choice(len(helpers), size=k, replace=False)
+
+        async def ask(helper: int) -> bool:
+            try:
+                reply = await self.request(
+                    helper,
+                    PING_REQ,
+                    {"target": int(target)},
+                    # The helper itself waits probe_timeout for the target.
+                    timeout=cfg.probe_timeout * 2.5,
+                    retries=0,
+                    check_membership=False,
+                )
+                return bool(reply.get("alive"))
+            except (RetryBudgetExhausted, DeadlineExceeded):
+                return False
+
+        results = await asyncio.gather(*(ask(helpers[int(i)]) for i in picks))
+        return any(results)

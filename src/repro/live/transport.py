@@ -1,0 +1,157 @@
+"""Loopback transport: asyncio inboxes with FaultPlan network weather.
+
+The live cluster's nodes exchange :class:`~repro.live.envelope.Envelope`s
+through one shared :class:`LoopbackTransport`. Each registered node owns
+an unbounded ``asyncio.Queue`` inbox; a send consults the same
+:class:`~repro.net.faults.FaultPlan` the simulator uses —
+
+* an active :class:`~repro.net.faults.RingPartition` whose window covers
+  the transport's *elapsed wall-clock seconds* blocks the send outright
+  (so scripted partitions affect live traffic and the stabilizer's
+  synchronous rounds identically);
+* the per-link loss probability (:meth:`FaultPlan.hop_loss`) drops the
+  envelope, sampled from the transport's own seeded generator;
+* surviving envelopes are delivered after a small seeded delay via
+  ``loop.call_later`` — senders never block on delivery.
+
+Sends to unregistered destinations (crashed or never-started nodes) are
+silently dropped, exactly like a datagram to a dead host; every drop is
+counted by cause in the telemetry registry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.live.envelope import Envelope
+from repro.net.faults import FaultPlan
+from repro.telemetry.registry import get_registry
+from repro.util.rng import as_generator
+
+__all__ = ["LoopbackTransport"]
+
+
+class LoopbackTransport:
+    """In-process datagram fabric for one live cluster."""
+
+    def __init__(
+        self,
+        ids: "np.ndarray | None" = None,
+        faults: "FaultPlan | None" = None,
+        seed=None,
+        registry=None,
+    ):
+        #: ring identifiers indexed by node id (partition side lookups);
+        #: ``None`` disables partition checks even if the plan has windows.
+        self.ids = ids
+        self.faults = faults if faults is not None else FaultPlan.none()
+        self._rng = as_generator(seed)
+        self._inboxes: dict[int, asyncio.Queue] = {}
+        self._t0: "float | None" = None
+        registry = registry if registry is not None else get_registry()
+        self._m_sent = registry.counter("transport.sent", "envelopes handed to the fabric")
+        self._m_delivered = registry.counter(
+            "transport.delivered", "envelopes enqueued at a destination inbox"
+        )
+        self._m_lost = registry.counter(
+            "transport.dropped_loss", "envelopes dropped by link loss"
+        )
+        self._m_partitioned = registry.counter(
+            "transport.dropped_partition", "envelopes blocked by an active partition"
+        )
+        self._m_unregistered = registry.counter(
+            "transport.dropped_unregistered", "envelopes to crashed/absent nodes"
+        )
+
+    # -- clock ---------------------------------------------------------------
+
+    def start_clock(self) -> None:
+        """Pin elapsed-time zero; partition windows are relative to this."""
+        self._t0 = asyncio.get_running_loop().time()
+
+    def now(self) -> float:
+        """Elapsed wall-clock seconds since :meth:`start_clock` (0 before)."""
+        if self._t0 is None:
+            return 0.0
+        return asyncio.get_running_loop().time() - self._t0
+
+    # -- membership of the fabric ---------------------------------------------
+
+    def register(self, node_id: int) -> asyncio.Queue:
+        """Attach ``node_id`` and return its (fresh) inbox queue."""
+        queue: asyncio.Queue = asyncio.Queue()
+        self._inboxes[node_id] = queue
+        return queue
+
+    def unregister(self, node_id: int) -> None:
+        """Detach ``node_id``; in-flight envelopes to it are dropped."""
+        self._inboxes.pop(node_id, None)
+
+    def is_registered(self, node_id: int) -> bool:
+        return node_id in self._inboxes
+
+    # -- sending ----------------------------------------------------------------
+
+    def link_open(self, u: int, v: int) -> bool:
+        """Whether an active partition currently separates ``u`` and ``v``."""
+        if self.ids is None or not self.faults.partitions:
+            return True
+        return not self.faults.partition_blocks_link(
+            float(self.ids[u]), float(self.ids[v]), self.now()
+        )
+
+    def send(self, env: Envelope) -> bool:
+        """Fire one envelope into the fabric; True if it will be delivered.
+
+        The boolean is *transport-local* knowledge (loss/partition/dead
+        destination sampled now); real senders must not branch on it for
+        anything but tests — the protocol's acks are the only evidence a
+        node is allowed to act on.
+        """
+        self._m_sent.inc()
+        inbox = self._inboxes.get(env.dst)
+        if inbox is None:
+            self._m_unregistered.inc()
+            return False
+        if not self.link_open(env.src, env.dst):
+            self._m_partitioned.inc()
+            return False
+        p = self.faults.hop_loss(env.src, env.dst)
+        if p > 0.0 and self._rng.random() < p:
+            self._m_lost.inc()
+            return False
+        delay = self._sample_delay()
+        loop = asyncio.get_running_loop()
+        if delay <= 0.0:
+            self._deliver(env.dst, inbox, env)
+        else:
+            loop.call_later(delay, self._deliver, env.dst, inbox, env)
+        return True
+
+    def _deliver(self, dst: int, inbox: asyncio.Queue, env: Envelope) -> None:
+        # Re-check registration at delivery time: the destination may have
+        # crashed while the envelope was in flight.
+        if self._inboxes.get(dst) is not inbox:
+            self._m_unregistered.inc()
+            return
+        inbox.put_nowait(env)
+        self._m_delivered.inc()
+
+    def _sample_delay(self) -> float:
+        return 0.0  # overridden per-cluster via configure_delay
+
+    def configure_delay(self, mean: float, jitter: float) -> None:
+        """Install a seeded uniform delay model ``mean ± jitter`` seconds."""
+        if mean <= 0.0 and jitter <= 0.0:
+            self._sample_delay = lambda: 0.0  # type: ignore[method-assign]
+            return
+        rng = self._rng
+
+        def sample() -> float:
+            lo = max(0.0, mean - jitter)
+            hi = mean + jitter
+            return float(lo + (hi - lo) * rng.random())
+
+        self._sample_delay = sample  # type: ignore[method-assign]

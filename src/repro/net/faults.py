@@ -411,16 +411,43 @@ class PingService:
         faults: "FaultPlan | None" = None,
         base_timeout_ms: float = 200.0,
         backoff: float = 2.0,
+        registry=None,
     ):
-        if base_timeout_ms <= 0:
-            raise ConfigurationError(f"base_timeout_ms must be positive, got {base_timeout_ms}")
-        if backoff < 1.0:
-            raise ConfigurationError(f"backoff must be >= 1, got {backoff}")
+        # Strict range checks: ``base_timeout_ms`` is *milliseconds* — a
+        # caller passing seconds (0.2) or a junk NaN/inf would silently
+        # skew every timeout-derived stat, so reject non-finite values
+        # and anything outside sane probing ranges outright.
+        if not math.isfinite(base_timeout_ms) or base_timeout_ms <= 0:
+            raise ConfigurationError(
+                f"base_timeout_ms must be a positive finite number of "
+                f"milliseconds, got {base_timeout_ms}"
+            )
+        if not math.isfinite(backoff) or backoff < 1.0:
+            raise ConfigurationError(f"backoff must be finite and >= 1, got {backoff}")
         self.faults = faults if faults is not None else FaultPlan.none()
         self.base_timeout_ms = float(base_timeout_ms)
         self.backoff = float(backoff)
         self._online: "np.ndarray | None" = None
         self._suspicion: dict[tuple[int, int], int] = {}
+        # Service-level registry counters (no-ops under NullRegistry):
+        # unlike the FaultPlan's ``faults.*`` counters, these describe the
+        # *prober's* experience — attempts spent, probes that timed out,
+        # failures confirmed past the suspicion threshold.
+        registry = registry if registry is not None else get_registry()
+        self._m_probe_attempts = registry.counter(
+            "ping.probe_attempts", "probe attempts issued (incl. backoff retries)"
+        )
+        self._m_probe_timeouts = registry.counter(
+            "ping.probe_timeouts", "probes that exhausted every attempt unanswered"
+        )
+        self._m_confirmed_down = registry.counter(
+            "ping.confirmed_down", "probe failures confirmed past the suspicion threshold"
+        )
+        self._h_probe_wait_ms = registry.histogram(
+            "ping.probe_wait_ms",
+            (0.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0),
+            "virtual milliseconds spent waiting per probe",
+        )
 
     # -- effective policy (oracle when the plan is null) -----------------------
 
@@ -460,22 +487,32 @@ class PingService:
         if faults.is_null:
             stats.pings += 1
             faults._m_pings.inc()
-            return truth, 1, 0.0 if truth else self.base_timeout_ms
+            self._m_probe_attempts.inc()
+            waited = 0.0 if truth else self.base_timeout_ms
+            if not truth:
+                self._m_probe_timeouts.inc()
+            self._h_probe_wait_ms.observe(waited)
+            return truth, 1, waited
         if not truth and faults.departs_gracefully(contact):
-            # Graceful departure: the contact said goodbye; no probing noise.
+            # Graceful departure: the contact said goodbye; no probing noise
+            # and no timeout — the "no" is an answer, not silence.
             stats.pings += 1
             faults._m_pings.inc()
+            self._m_probe_attempts.inc()
+            self._h_probe_wait_ms.observe(0.0)
             return False, 1, 0.0
         timeout = self.base_timeout_ms
         waited = 0.0
         for attempt in range(1, self.max_attempts + 1):
             stats.pings += 1
             faults._m_pings.inc()
+            self._m_probe_attempts.inc()
             if attempt > 1:
                 stats.ping_retries += 1
                 faults._m_ping_retries.inc()
             if truth:
                 if not faults.ping_drops_response():
+                    self._h_probe_wait_ms.observe(waited)
                     return True, attempt, waited
                 stats.ping_false_negatives += 1
                 faults._m_ping_false_negatives.inc()
@@ -483,12 +520,15 @@ class PingService:
                 if faults.ping_fakes_response():
                     stats.ping_false_positives += 1
                     faults._m_ping_false_positives.inc()
+                    self._h_probe_wait_ms.observe(waited)
                     return True, attempt, waited
             # Timed out: wait, back off, retry.
             waited += timeout
             stats.ping_wait_ms += timeout
             faults._m_ping_wait_ms.inc(timeout)
             timeout *= self.backoff
+        self._m_probe_timeouts.inc()
+        self._h_probe_wait_ms.observe(waited)
         return False, self.max_attempts, waited
 
     def check(self, observer: int, contact: int) -> bool:
@@ -526,7 +566,10 @@ class PingService:
             # An announced departure is trusted immediately.
             count = self.suspicion_threshold
         self._suspicion[key] = count
-        return PingResult(False, attempts, waited, count >= self.suspicion_threshold)
+        confirmed = count >= self.suspicion_threshold
+        if confirmed:
+            self._m_confirmed_down.inc()
+        return PingResult(False, attempts, waited, confirmed)
 
     def _decay_contact(self, contact: int, exclude: int) -> None:
         """Bounded decay of *everyone's* suspicion of a contact that answered.

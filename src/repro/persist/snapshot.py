@@ -34,7 +34,8 @@ from repro.graphs.graph import SocialGraph
 from repro.net.availability import CumulativeMovingAverage
 from repro.net.growth import JoinEvent
 from repro.sim.trace import TraceRecorder
-from repro.util.exceptions import PersistError
+from repro.util.atomicio import atomic_write_json
+from repro.util.exceptions import PersistError, SnapshotIntegrityError, SnapshotIOError
 from repro.util.rng import generator_state, restore_generator
 
 __all__ = [
@@ -493,17 +494,20 @@ def restore(snapshot: dict, graph: "SocialGraph | None" = None):
 
 
 def save(snapshot: dict, out_dir: str) -> dict:
-    """Write ``manifest.json`` + ``state.json`` into ``out_dir``."""
+    """Write ``manifest.json`` + ``state.json`` into ``out_dir``.
+
+    Both files are written atomically (tmp + fsync + ``os.replace``):
+    the state payload lands first, then the manifest that vouches for
+    it, so a crash at any instant leaves either the previous snapshot
+    intact or a fully consistent new one — never a manifest pointing at
+    truncated state.
+    """
     manifest, state = _unpack(snapshot)
     os.makedirs(out_dir, exist_ok=True)
     manifest_path = os.path.join(out_dir, MANIFEST_FILE)
     state_path = os.path.join(out_dir, STATE_FILE)
-    with open(manifest_path, "w", encoding="utf-8") as fh:
-        json.dump(manifest, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    with open(state_path, "w", encoding="utf-8") as fh:
-        json.dump(state, fh, separators=(",", ":"), sort_keys=True)
-        fh.write("\n")
+    atomic_write_json(state_path, state, separators=(",", ":"), sort_keys=True)
+    atomic_write_json(manifest_path, manifest, indent=2, sort_keys=True)
     return {"manifest": manifest_path, "state": state_path}
 
 
@@ -525,13 +529,15 @@ def load(path: str) -> dict:
             manifest = json.load(fh)
         with open(state_path, "r", encoding="utf-8") as fh:
             state = json.load(fh)
-    except (OSError, json.JSONDecodeError) as exc:
-        raise PersistError(f"unreadable snapshot at {path}: {exc}") from exc
+    except OSError as exc:
+        raise SnapshotIOError(f"unreadable snapshot at {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SnapshotIntegrityError(f"corrupt snapshot at {path}: {exc}") from exc
     snapshot = {"manifest": manifest, "state": state}
     _unpack(snapshot)
     digest = snapshot_id(state)
     if digest != manifest.get("snapshot_id"):
-        raise PersistError(
+        raise SnapshotIntegrityError(
             f"snapshot integrity check failed: state digest {digest} != "
             f"manifest snapshot_id {manifest.get('snapshot_id')}"
         )

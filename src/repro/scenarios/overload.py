@@ -43,7 +43,7 @@ import numpy as np
 
 from repro.overlay.routing import RouteResult
 from repro.telemetry.registry import get_registry
-from repro.util.exceptions import ConfigurationError
+from repro.util.exceptions import ConfigurationError, PersistError
 
 __all__ = ["OverloadConfig", "OverloadStats", "OverloadGuard"]
 
@@ -290,7 +290,9 @@ class OverloadGuard:
         tokens = np.asarray(state["tokens"], dtype=np.float64)
         last = np.asarray(state["last_refill"], dtype=np.float64)
         if tokens.shape != self.tokens.shape or last.shape != self.last_refill.shape:
-            raise ConfigurationError(
+            # A shape mismatch means the snapshot belongs to a different
+            # cluster size — a restore-path failure, not a config error.
+            raise PersistError(
                 f"overload state is for {tokens.shape[0]} nodes, guard has {self.num_nodes}"
             )
         self.tokens = tokens

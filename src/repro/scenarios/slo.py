@@ -19,12 +19,12 @@ byte.
 
 from __future__ import annotations
 
-import json
 import math
 import os
 from dataclasses import dataclass
 
 from repro.sim.runner import SimulationReport
+from repro.util.atomicio import atomic_write_json
 from repro.util.exceptions import ConfigurationError
 
 __all__ = ["VERDICT_SCHEMA", "VERDICT_FILE", "SLOSpec", "build_verdict", "write_verdict"]
@@ -167,11 +167,13 @@ def build_verdict(
 
 
 def write_verdict(verdict: dict, path: str) -> str:
-    """Write a verdict document with a byte-stable encoding; returns the path."""
+    """Write a verdict document with a byte-stable encoding; returns the path.
+
+    The write is atomic (tmp + fsync + replace): CI's determinism gate
+    compares verdicts byte for byte, so a truncated file must be
+    impossible even under SIGKILL.
+    """
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(verdict, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    return path
+    return atomic_write_json(path, verdict, indent=2, sort_keys=True)

@@ -15,6 +15,8 @@ from collections import defaultdict
 
 import numpy as np
 
+from repro.util.atomicio import atomic_write_lines
+
 __all__ = ["TraceRecorder"]
 
 
@@ -63,12 +65,15 @@ class TraceRecorder:
         return rows
 
     def export(self, path: str) -> str:
-        """Write the rows as JSONL (one point per line); returns ``path``."""
-        with open(path, "w", encoding="utf-8") as fh:
-            for row in self.to_rows():
-                fh.write(json.dumps(row, separators=(",", ":")))
-                fh.write("\n")
-        return path
+        """Write the rows as JSONL (one point per line); returns ``path``.
+
+        Atomic replace: a crash mid-export leaves the previous file (or
+        none), never a truncated one.
+        """
+        return atomic_write_lines(
+            path,
+            (json.dumps(row, separators=(",", ":")) for row in self.to_rows()),
+        )
 
     @classmethod
     def load(cls, path: str) -> "TraceRecorder":

@@ -15,10 +15,10 @@ DIR`` schema-checks them in CI.
 
 from __future__ import annotations
 
-import json
 import os
 
 from repro.telemetry.registry import MetricsRegistry
+from repro.util.atomicio import atomic_write_json, atomic_write_text
 
 __all__ = [
     "registry_snapshot",
@@ -139,10 +139,9 @@ def write_telemetry(
     os.makedirs(out_dir, exist_ok=True)
     paths = {}
 
-    prom_path = os.path.join(out_dir, METRICS_FILE)
-    with open(prom_path, "w", encoding="utf-8") as fh:
-        fh.write(prometheus_text(registry))
-    paths["metrics"] = prom_path
+    paths["metrics"] = atomic_write_text(
+        os.path.join(out_dir, METRICS_FILE), prometheus_text(registry)
+    )
 
     prov = {"root_seed": None, "config_hash": None, "snapshot_id": None}
     prov.update(provenance or {})
@@ -159,9 +158,11 @@ def write_telemetry(
         paths["series"] = recorder.export(os.path.join(out_dir, SERIES_FILE))
         report["series"] = {"names": recorder.names()}
 
-    report_path = os.path.join(out_dir, REPORT_FILE)
-    with open(report_path, "w", encoding="utf-8") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True, default=float)
-        fh.write("\n")
-    paths["report"] = report_path
+    paths["report"] = atomic_write_json(
+        os.path.join(out_dir, REPORT_FILE),
+        report,
+        indent=2,
+        sort_keys=True,
+        default=float,
+    )
     return paths

@@ -21,6 +21,8 @@ from __future__ import annotations
 import json
 from contextlib import contextmanager
 
+from repro.util.atomicio import atomic_write_lines
+
 __all__ = ["RouteTracer", "get_tracer", "set_tracer", "use_tracer"]
 
 
@@ -63,12 +65,18 @@ class RouteTracer:
         return list(self._spans)
 
     def export(self, path: str) -> str:
-        """Write every span as one JSON object per line; returns ``path``."""
-        with open(path, "w", encoding="utf-8") as fh:
-            for span in self._spans:
-                fh.write(json.dumps(span, separators=(",", ":"), default=float))
-                fh.write("\n")
-        return path
+        """Write every span as one JSON object per line; returns ``path``.
+
+        The file is replaced atomically so a crash mid-export cannot
+        leave a truncated JSONL that a validator half-accepts.
+        """
+        return atomic_write_lines(
+            path,
+            (
+                json.dumps(span, separators=(",", ":"), default=float)
+                for span in self._spans
+            ),
+        )
 
     @staticmethod
     def load(path: str) -> list[dict]:

@@ -227,6 +227,25 @@ class TestPingService:
             PingService(base_timeout_ms=0.0)
         with pytest.raises(ConfigurationError):
             PingService(backoff=0.5)
+        with pytest.raises(ConfigurationError):
+            PingService(base_timeout_ms=float("nan"))
+        with pytest.raises(ConfigurationError):
+            PingService(backoff=float("inf"))
+
+    def test_probe_counters_feed_registry(self):
+        from repro.telemetry.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        plan = FaultPlan(ping_false_negative=0.001, ping_attempts=3, seed=8)
+        service = PingService(plan, registry=registry)
+        service.set_ground_truth(self._online(down=[1]))
+        service.probe(0, 1)  # dead contact: exhausts all 3 attempts
+        service.probe(0, 2)  # live contact: answers, no timeout
+        counters = registry.counters()
+        assert counters["ping.probe_attempts"].value == 4
+        assert counters["ping.probe_timeouts"].value == 1
+        hist = registry.histograms()["ping.probe_wait_ms"]
+        assert hist.count == 2
 
     def test_false_negative_beaten_by_retries(self):
         # fn = 1.0 on the first attempt would mean never answering, so use

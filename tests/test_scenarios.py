@@ -33,7 +33,7 @@ from repro.scenarios import (
 from repro.scenarios.slo import VERDICT_SCHEMA
 from repro.scenarios.validate import validate_verdict
 from repro.telemetry.registry import MetricsRegistry
-from repro.util.exceptions import ConfigurationError
+from repro.util.exceptions import ConfigurationError, PersistError
 
 SMALL_N = 64
 SEED = 11
@@ -312,7 +312,7 @@ class TestOverloadGuard:
         guard = self._guard()
         state = guard.state_dict()
         state["tokens"] = state["tokens"][:-1]
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(PersistError):
             self._guard().restore_state(state)
 
     def test_invalid_config_rejected(self):

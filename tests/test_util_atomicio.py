@@ -1,0 +1,76 @@
+"""Crash-safe atomic writes: tmp+rename discipline and error taxonomy."""
+
+import json
+import os
+
+import pytest
+
+from repro.util.atomicio import (
+    atomic_write_json,
+    atomic_write_lines,
+    atomic_write_text,
+)
+from repro.util.exceptions import (
+    PersistError,
+    ReproError,
+    SnapshotIOError,
+    TransientError,
+)
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        returned = atomic_write_text(path, "hello\n")
+        assert returned == path
+        with open(path, encoding="utf-8") as fh:
+            assert fh.read() == "hello\n"
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "old")
+        atomic_write_text(path, "new")
+        with open(path, encoding="utf-8") as fh:
+            assert fh.read() == "new"
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        atomic_write_text(str(tmp_path / "out.txt"), "data")
+        assert sorted(os.listdir(tmp_path)) == ["out.txt"]
+
+    def test_missing_directory_raises_snapshot_io_error(self, tmp_path):
+        bad = str(tmp_path / "nonexistent" / "out.txt")
+        with pytest.raises(SnapshotIOError):
+            atomic_write_text(bad, "data")
+
+    def test_failed_replace_cleans_up_tmp(self, tmp_path):
+        # Target is itself a directory: the tmp file is written but the
+        # final os.replace fails — the tmp must not be left behind.
+        clash = tmp_path / "clash"
+        clash.mkdir()
+        with pytest.raises(SnapshotIOError):
+            atomic_write_text(str(clash), "data")
+        assert sorted(os.listdir(tmp_path)) == ["clash"]
+
+    def test_io_error_is_retryable_persist_error(self):
+        assert issubclass(SnapshotIOError, PersistError)
+        assert issubclass(SnapshotIOError, TransientError)
+        assert issubclass(SnapshotIOError, ReproError)
+        assert SnapshotIOError("x").retryable
+
+
+class TestAtomicWriteJsonAndLines:
+    def test_json_round_trip_with_trailing_newline(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        atomic_write_json(path, {"b": 2, "a": [1, 2]}, sort_keys=True)
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        assert text.endswith("\n")
+        assert json.loads(text) == {"a": [1, 2], "b": 2}
+
+    def test_lines_one_object_per_line(self, tmp_path):
+        path = str(tmp_path / "out.jsonl")
+        rows = [{"i": i} for i in range(3)]
+        atomic_write_lines(path, (json.dumps(r) for r in rows))
+        with open(path, encoding="utf-8") as fh:
+            parsed = [json.loads(line) for line in fh]
+        assert parsed == rows
