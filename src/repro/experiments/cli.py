@@ -71,19 +71,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "report", "snapshot", "scenario", "live"],
+        choices=sorted(EXPERIMENTS)
+        + ["all", "report", "snapshot", "scenario", "live", "trace"],
         help="which artifact to regenerate, 'report' to render a telemetry dir, "
         "'snapshot' to save a converged overlay, 'scenario' to run a named "
-        "chaos scenario to an SLO verdict, or 'live' to run a scripted "
-        "asyncio cluster with SWIM membership",
+        "chaos scenario to an SLO verdict, 'live' to run a scripted "
+        "asyncio cluster with SWIM membership, or 'trace' to render the "
+        "causal trees of a traced live run",
     )
     parser.add_argument(
         "dir",
         nargs="?",
         default=None,
         metavar="DIR",
-        help="telemetry directory ('report'), snapshot directory ('snapshot'), "
-        "or scenario name ('scenario'/'live')",
+        help="telemetry directory ('report'/'trace'), snapshot directory "
+        "('snapshot'), or scenario name ('scenario'/'live')",
     )
     parser.add_argument(
         "--list",
@@ -108,6 +110,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with 'scenario': disable overload protection and catch-up "
         "(the baseline the protection is judged against)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="with 'live': thread causal trace context through every "
+        "envelope and arm per-node flight recorders (opt-in; off = the "
+        "zero-overhead path)",
+    )
+    parser.add_argument(
+        "--trace-id",
+        default=None,
+        metavar="ID",
+        help="with 'trace': show only this causal chain (e.g. '412:17')",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="with 'trace': how many causal trees to render (default 10)",
     )
     parser.add_argument("--preset", default="quick", choices=["quick", "default", "full"])
     parser.add_argument("--num-nodes", type=int, default=None, help="override graph size")
@@ -279,9 +300,28 @@ def _run_live(args) -> int:
     nodes = args.nodes if args.nodes is not None else (args.num_nodes or 100)
     seed = args.seed if args.seed is not None else 2018
     registry = MetricsRegistry()
-    result = asyncio.run(
-        run_live_scenario(name, num_nodes=nodes, seed=seed, registry=registry)
-    )
+    cluster = None
+    if args.trace:
+        import os
+
+        from repro.live import LiveCluster
+
+        flight_path = (
+            os.path.join(args.telemetry, "flight.json") if args.telemetry else None
+        )
+        cluster = LiveCluster(
+            num_nodes=nodes,
+            scenario=name,
+            seed=seed,
+            registry=registry,
+            trace=True,
+            flight_path=flight_path,
+        )
+        result = asyncio.run(cluster.run())
+    else:
+        result = asyncio.run(
+            run_live_scenario(name, num_nodes=nodes, seed=seed, registry=registry)
+        )
 
     ok = (
         result["membership_converged"]
@@ -290,6 +330,8 @@ def _run_live(args) -> int:
         and result["eventual_delivery_ratio"] >= 0.99
         and not result["gave_up_nodes"]
     )
+    if args.trace:
+        ok = ok and result["trace"]["slo"]["passed"]
     print(
         f"live {result['scenario']}: {'PASS' if ok else 'FAIL'} "
         f"(n={result['num_nodes']}, seed={result['seed']})"
@@ -315,6 +357,24 @@ def _run_live(args) -> int:
     print(f"  overlay doctor     {'clean' if result['doctor_ok'] else 'VIOLATIONS'}")
     if result["gave_up_nodes"]:
         print(f"  supervisor         gave up on nodes {result['gave_up_nodes']}")
+    if args.trace:
+        t = result["trace"]
+        print(
+            f"  causal chains      {t['complete_chains']}/{t['traces']} complete "
+            f"({t['complete_chain_ratio']:.2%}), {t['orphan_spans']} orphans, "
+            f"{t['dropped_spans']} spans dropped by retention"
+        )
+        print(
+            f"  chain latency      p50 {t['latency_ms']['p50']:.1f} ms, "
+            f"p99 {t['latency_ms']['p99']:.1f} ms; hops p99 {t['hops']['p99']:g}"
+        )
+        for obj in t["slo"]["objectives"]:
+            sign = ">=" if obj["kind"] == "floor" else "<="
+            status = "ok" if obj["passed"] else "VIOLATED"
+            print(
+                f"  slo {obj['name']:18s} {obj['observed']:10.4f} {sign} "
+                f"{obj['threshold']:10.4f}  margin {obj['margin']:+.4f}  {status}"
+            )
 
     if args.telemetry:
         import os
@@ -323,18 +383,44 @@ def _run_live(args) -> int:
         from repro.util.atomicio import atomic_write_json
 
         meta = {"live_scenario": name, "seed": seed, "num_nodes": nodes}
+        extra_files = ["live.json"]
+        if cluster is not None and not ok:
+            # Acceptance failure: persist the flight recorders so CI can
+            # upload per-node evidence alongside the traces.
+            if cluster.dump_flight("acceptance_failure"):
+                extra_files.append("flight.json")
+        elif cluster is not None and cluster.incidents:
+            extra_files.append("flight.json")
         paths = write_telemetry(
-            args.telemetry, registry, meta=meta, provenance={"root_seed": seed}
+            args.telemetry,
+            registry,
+            tracer=cluster.route_tracer if cluster is not None else None,
+            meta=meta,
+            provenance={"root_seed": seed},
         )
         atomic_write_json(
             os.path.join(args.telemetry, "live.json"), result, indent=2, sort_keys=True
         )
         print(
             f"[telemetry written to {args.telemetry}: "
-            f"{', '.join(sorted(paths) + ['live.json'])}]",
+            f"{', '.join(sorted(paths) + sorted(extra_files))}]",
             file=sys.stderr,
         )
     return 0 if ok else 1
+
+
+def _run_trace(args) -> int:
+    """Render the causal trees of a traced live run's telemetry dir."""
+    from repro.telemetry.report import render_trace_tree
+
+    if not args.dir:
+        print(
+            "usage: select-repro trace TELEMETRY_DIR [--trace-id ID] [--limit N]",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_trace_tree(args.dir, trace_id=args.trace_id, limit=args.limit))
+    return 0
 
 
 def _resume_snapshot_id(config: ExperimentConfig) -> "str | None":
@@ -354,6 +440,8 @@ def main(argv=None) -> int:
         return _run_scenario(args)
     if args.experiment == "live":
         return _run_live(args)
+    if args.experiment == "trace":
+        return _run_trace(args)
     config = config_from_args(args)
     if args.experiment == "snapshot":
         return _run_snapshot(args, config)

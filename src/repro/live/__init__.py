@@ -17,22 +17,29 @@ from repro.live.config import LiveConfig
 from repro.live.envelope import Envelope
 from repro.live.membership import ALIVE, DEAD, SUSPECT, MembershipView
 from repro.live.node import PeerNode
+from repro.live.recorder import FLIGHT_SCHEMA, FlightRecorder, dump_flight_recorders
 from repro.live.scenarios import LiveScenario, get_live_scenario, live_scenario_names
 from repro.live.supervisor import NodeSupervisor
+from repro.live.tracing import LiveTracer, TraceContext
 from repro.live.transport import LoopbackTransport
 
 __all__ = [
     "ALIVE",
     "DEAD",
+    "FLIGHT_SCHEMA",
     "SUSPECT",
     "Envelope",
+    "FlightRecorder",
     "LiveCluster",
     "LiveConfig",
     "LiveScenario",
+    "LiveTracer",
     "LoopbackTransport",
     "MembershipView",
     "NodeSupervisor",
     "PeerNode",
+    "TraceContext",
+    "dump_flight_recorders",
     "get_live_scenario",
     "live_scenario_names",
     "run_live_scenario",

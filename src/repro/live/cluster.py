@@ -34,6 +34,7 @@ dropped.
 from __future__ import annotations
 
 import asyncio
+import math
 
 import numpy as np
 
@@ -43,12 +44,17 @@ from repro.core.stabilize import CatchUpStore, Stabilizer
 from repro.graphs.datasets import load_dataset
 from repro.live.config import LiveConfig
 from repro.live.node import PeerNode
+from repro.live.recorder import FlightRecorder, dump_flight_recorders
 from repro.live.scenarios import LiveScenario, get_live_scenario
 from repro.live.supervisor import NodeSupervisor
+from repro.live.tracing import LiveTracer, TraceContext
 from repro.live.transport import LoopbackTransport
 from repro.net.faults import FaultPlan, PingService, RingPartition
 from repro.overlay.doctor import check_overlay
-from repro.telemetry.registry import get_registry
+from repro.scenarios.slo import LIVE_TRACE_SLO, evaluate_live_trace
+from repro.telemetry import livetrace
+from repro.telemetry.registry import HOP_BUCKETS, get_registry
+from repro.telemetry.tracer import RouteTracer
 from repro.util.exceptions import TransientError
 from repro.util.rng import RngStream
 
@@ -66,6 +72,11 @@ class LiveCluster:
         dataset: str = "facebook",
         config: "LiveConfig | None" = None,
         registry=None,
+        trace: bool = False,
+        trace_limit: "int | None" = None,
+        flight_path: "str | None" = None,
+        time_source=None,
+        slo=None,
     ):
         if isinstance(scenario, str):
             scenario = get_live_scenario(scenario)
@@ -108,11 +119,51 @@ class LiveCluster:
             faults=self.faults,
             seed=child_seed("transport"),
             registry=self.registry,
+            time_source=time_source,
         )
         self.transport.configure_delay(self.config.delay_mean, self.config.delay_jitter)
         self.supervisor = NodeSupervisor(
             config=self.config, seed=child_seed("supervisor"), registry=self.registry
         )
+
+        # -- observability plane (opt-in; None/{} = the PR 7 zero-overhead
+        # path: no spans, no recorders, no extra instruments registered).
+        self.slo = slo if slo is not None else LIVE_TRACE_SLO
+        self.flight_path = flight_path
+        self.route_tracer: "RouteTracer | None" = None
+        self.tracer: "LiveTracer | None" = None
+        self.recorders: "dict[int, FlightRecorder]" = {}
+        #: supervisor incidents (crash/restart/gave_up/kill), chronologically.
+        self.incidents: "list[dict]" = []
+        self._flight_dirty = False
+        #: intended pair -> span id its terminal must parent to (the shed
+        #: span once the pair degraded; the publish root otherwise).
+        self._trace_anchor: "dict[tuple[int, int], int]" = {}
+        #: intended pairs whose causal chain has no terminal yet.
+        self._trace_open: "set[tuple[int, int]]" = set()
+        if trace:
+            self.route_tracer = RouteTracer(limit=trace_limit)
+            self.tracer = LiveTracer(self.route_tracer, clock=self.transport.now)
+            self.transport.tracer = self.tracer
+            self.recorders = {
+                v: FlightRecorder(
+                    v,
+                    capacity=self.config.flight_recorder_capacity,
+                    clock=self.transport.now,
+                )
+                for v in range(self.n)
+            }
+            self.supervisor.on_incident = self._incident
+            self._h_trace_latency = self.registry.histogram(
+                "live.trace_latency_ms",
+                (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 5000.0),
+                "publish root to terminal latency per causal chain (ms)",
+            )
+            self._h_trace_hops = self.registry.histogram(
+                "live.trace_hops",
+                HOP_BUCKETS,
+                "relay hops of chains that terminated delivered",
+            )
         self.nodes: "dict[int, PeerNode]" = {
             v: PeerNode(
                 v,
@@ -121,6 +172,8 @@ class LiveCluster:
                 config=self.config,
                 seed=child_seed(f"node:{v}"),
                 registry=self.registry,
+                tracer=self.tracer,
+                recorder=self.recorders.get(v),
             )
             for v in range(self.n)
         }
@@ -179,6 +232,44 @@ class LiveCluster:
                 return False
         return True
 
+    # -- observability plane -----------------------------------------------------
+
+    def _incident(self, node_id: int, kind: str, detail: dict) -> None:
+        """Supervisor incident tap: flight-recorder entry + dump trigger."""
+        recorder = self.recorders.get(node_id)
+        if recorder is not None:
+            recorder.record("incident", incident=kind, **detail)
+        self.incidents.append(
+            {
+                "t": round(self.transport.now(), 6),
+                "node": int(node_id),
+                "kind": str(kind),
+                **detail,
+            }
+        )
+        if kind in ("crash", "gave_up"):
+            # Crash/eviction evidence is exactly what must survive the
+            # run; the maintenance loop persists the rings off hot path.
+            self._flight_dirty = True
+
+    def dump_flight(self, reason: str, path: "str | None" = None) -> "str | None":
+        """Persist every node's flight-recorder ring (atomic replace)."""
+        path = path if path is not None else self.flight_path
+        if path is None or not self.recorders:
+            return None
+        return dump_flight_recorders(
+            path,
+            self.recorders,
+            incidents=self.incidents,
+            meta={
+                "reason": str(reason),
+                "scenario": self.scenario.name,
+                "seed": self.seed,
+                "num_nodes": self.n,
+                "t": round(self.transport.now(), 6),
+            },
+        )
+
     # -- the run ---------------------------------------------------------------
 
     async def run(self) -> dict:
@@ -201,6 +292,10 @@ class LiveCluster:
             except asyncio.CancelledError:
                 pass
         result = self._account()
+        if self.tracer is not None and self.incidents:
+            # Final authoritative dump: the mid-run crash dumps are
+            # best-effort snapshots, this one has the complete rings.
+            self.dump_flight("end_of_run")
         await self.supervisor.shutdown()
         return result
 
@@ -245,6 +340,7 @@ class LiveCluster:
         believed = np.zeros(self.n, dtype=bool)
         for m in node.view.alive_members():
             believed[m] = True
+        tracer = self.tracer
         sends = []
         for s in friends:
             if not truth[s]:
@@ -253,30 +349,71 @@ class LiveCluster:
                 self.catchup.deposit(seq, publisher, s, False, truth, now)
                 continue
             self.intended.append((seq, publisher, s))
+            root = None
+            if tracer is not None:
+                # One causal chain per intended pair, rooted here: the
+                # trace id ties every downstream span back to this
+                # publish decision.
+                trace_id = f"{seq}:{s}"
+                root = tracer.event(trace_id, "publish", publisher, sub=int(s))
+                self._trace_anchor[(seq, s)] = root
+                self._trace_open.add((seq, s))
             if not node.view.is_alive(s):
                 # Membership already evicted the subscriber (it may be a
                 # false eviction): degrade straight to catch-up.
                 self.shed_pairs.add((seq, s))
                 self.catchup.deposit(seq, publisher, s, True, truth, now)
+                if tracer is not None:
+                    self._trace_anchor[(seq, s)] = tracer.event(
+                        f"{seq}:{s}",
+                        "shed",
+                        publisher,
+                        parent=root,
+                        status="peer_unreachable",
+                    )
+                if publisher in self.recorders:
+                    self.recorders[publisher].record(
+                        "shed", seq=int(seq), sub=int(s), reason="peer_unreachable"
+                    )
                 continue
             route = self.router.route(publisher, s, online=believed)
             path = route.path if route.delivered else [publisher, s]
-            sends.append((s, path))
+            sends.append((s, path, root))
 
-        async def deliver(sub: int, path: "list[int]") -> None:
+        async def deliver(sub: int, path: "list[int]", root: "int | None") -> None:
+            trace_id = f"{seq}:{sub}"
+            ctx = (
+                TraceContext(trace_id, parent=root, hop=0)
+                if tracer is not None
+                else None
+            )
             try:
-                await node.publish_along(path, seq, publisher)
+                await node.publish_along(path, seq, publisher, trace=ctx)
                 self.acked.add((seq, sub))
-            except TransientError:
+            except TransientError as exc:
                 # Retry budget spent (relay crash, partition, loss storm):
                 # degrade, don't drop — park it for anti-entropy.
                 self.shed_pairs.add((seq, sub))
                 self.catchup.deposit(
                     seq, publisher, sub, True, self.truth_online(), self.transport.now()
                 )
+                if tracer is not None:
+                    # The recovery terminal will parent to this shed span,
+                    # keeping the degradation visible inside the chain.
+                    self._trace_anchor[(seq, sub)] = tracer.event(
+                        trace_id,
+                        "shed",
+                        publisher,
+                        parent=root,
+                        status=type(exc).__name__,
+                    )
+                if publisher in self.recorders:
+                    self.recorders[publisher].record(
+                        "shed", seq=int(seq), sub=int(sub), reason=type(exc).__name__
+                    )
 
         if sends:
-            await asyncio.gather(*(deliver(s, path) for s, path in sends))
+            await asyncio.gather(*(deliver(s, path, root) for s, path, root in sends))
 
     async def _maintenance_loop(self) -> None:
         """Repair + anti-entropy on a steady cadence, SWIM-gated."""
@@ -298,6 +435,32 @@ class LiveCluster:
                 node = self.nodes[sub]
                 if node.running:
                     node.delivered |= seen
+            if self.tracer is not None:
+                self._trace_recoveries()
+                if self._flight_dirty:
+                    self._flight_dirty = False
+                    self.dump_flight("crash")
+
+    def _trace_recoveries(self) -> None:
+        """Close chains the anti-entropy pass just recovered."""
+        resolved: "list[tuple[int, int]]" = []
+        for pair in self._trace_open:
+            seq, sub = pair
+            trace_id = f"{seq}:{sub}"
+            if self.tracer.has_terminal(trace_id):
+                resolved.append(pair)
+                continue
+            if seq in self.catchup._seen.get(sub, set()):
+                self.tracer.event(
+                    trace_id,
+                    "recovered",
+                    sub,
+                    parent=self._trace_anchor.get(pair),
+                    terminal=True,
+                )
+                resolved.append(pair)
+        for pair in resolved:
+            self._trace_open.discard(pair)
 
     async def _settle(self, budget: float) -> None:
         """Wait (bounded) for membership convergence + catch-up drain."""
@@ -328,9 +491,93 @@ class LiveCluster:
 
     # -- accounting -----------------------------------------------------------------
 
+    def _finalize_traces(self, truth: np.ndarray) -> None:
+        """Give every still-open chain its one terminal before export.
+
+        Run after the settle phase: a pair with no terminal by now is
+        either recovered-but-unnoticed (catch-up landed between
+        maintenance ticks), void because its subscriber died, or parked
+        in a buffer — closed as the non-complete ``pending`` terminal so
+        the validator can still prove the chain has no holes.
+        """
+        assert self.tracer is not None
+        self.tracer.flush_open()
+        for seq, _publisher, sub in self.intended:
+            trace_id = f"{seq}:{sub}"
+            if self.tracer.has_terminal(trace_id):
+                continue
+            anchor = self._trace_anchor.get((seq, sub))
+            if seq in self.catchup._seen.get(sub, set()) or seq in self.nodes[sub].delivered:
+                self.tracer.event(trace_id, "recovered", sub, parent=anchor, terminal=True)
+            elif not truth[sub]:
+                self.tracer.event(
+                    trace_id, "dead_subscriber", sub, parent=anchor, terminal=True
+                )
+            else:
+                self.tracer.event(trace_id, "pending", sub, parent=anchor, terminal=True)
+        self._trace_open.clear()
+
+    def _trace_report(self) -> dict:
+        """Chain summary + SLO verdict + per-node live series (traced runs)."""
+        assert self.route_tracer is not None
+        summary = livetrace.summarize(self.route_tracer.spans(livetrace.LIVE_SPAN_TYPE))
+        for ms in summary["latency_ms"]:
+            self._h_trace_latency.observe(ms)
+        for h in summary["hops"]:
+            self._h_trace_hops.observe(h)
+        self.registry.gauge(
+            "live.trace_complete_chain_ratio",
+            "causal chains with root, terminal, and no orphans over traces",
+        ).set(summary["complete_chain_ratio"])
+        # Per-node live series for the Prometheus plane: one labeled
+        # sample per node, so a dashboard can single out the node whose
+        # recorder overflowed or whose deliveries flat-lined.
+        for v in range(self.n):
+            labels = {"node": str(v)}
+            self.registry.gauge(
+                "live.node_delivered",
+                "notifications accepted at this node (live or catch-up)",
+                labels=labels,
+            ).set(len(self.nodes[v].delivered))
+            recorder = self.recorders[v]
+            self.registry.gauge(
+                "live.node_flight_events",
+                "flight-recorder events currently retained at this node",
+                labels=labels,
+            ).set(len(recorder))
+            self.registry.gauge(
+                "live.node_flight_dropped",
+                "flight-recorder events evicted from this node's ring",
+                labels=labels,
+            ).set(recorder.dropped)
+        slo = evaluate_live_trace(summary, self.slo)
+        lat = sorted(summary.pop("latency_ms"))
+        hops = sorted(summary.pop("hops"))
+
+        def dist(values: "list[float]") -> dict:
+            if not values:
+                return {"count": 0, "p50": 0.0, "p99": 0.0, "max": 0.0}
+            return {
+                "count": len(values),
+                "p50": float(values[max(0, math.ceil(0.5 * len(values)) - 1)]),
+                "p99": float(values[max(0, math.ceil(0.99 * len(values)) - 1)]),
+                "max": float(values[-1]),
+            }
+
+        return {
+            **summary,
+            "latency_ms": dist([float(v) for v in lat]),
+            "hops": dist([float(v) for v in hops]),
+            "dropped_spans": self.route_tracer.dropped_spans,
+            "incidents": len(self.incidents),
+            "slo": slo,
+        }
+
     def _account(self) -> dict:
         """Classify every intended pair; nothing may be silently lost."""
         truth = self.truth_online()
+        if self.tracer is not None:
+            self._finalize_traces(truth)
         pending: "set[tuple[int, int]]" = set()
         for holder, buf in self.catchup.buffers.items():
             for seq, sub, _counted in buf:
@@ -361,7 +608,7 @@ class LiveCluster:
         )
         self._g_eventual.set(eventual)
         doctor = check_overlay(self.overlay, online=self.truth_online())
-        return {
+        result = {
             "scenario": self.scenario.name,
             "num_nodes": self.n,
             "seed": self.seed,
@@ -380,6 +627,9 @@ class LiveCluster:
             "stabilize": self.stabilizer.stats.as_dict(),
             "gave_up_nodes": sorted(self.supervisor.gave_up()),
         }
+        if self.route_tracer is not None:
+            result["trace"] = self._trace_report()
+        return result
 
 
 async def run_live_scenario(
@@ -390,6 +640,9 @@ async def run_live_scenario(
     dataset: str = "facebook",
     config: "LiveConfig | None" = None,
     registry=None,
+    trace: bool = False,
+    trace_limit: "int | None" = None,
+    flight_path: "str | None" = None,
 ) -> dict:
     """Build one :class:`LiveCluster` and run it to its accounting dict."""
     cluster = LiveCluster(
@@ -399,5 +652,8 @@ async def run_live_scenario(
         dataset=dataset,
         config=config,
         registry=registry,
+        trace=trace,
+        trace_limit=trace_limit,
+        flight_path=flight_path,
     )
     return await cluster.run()

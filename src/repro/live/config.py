@@ -80,6 +80,12 @@ class LiveConfig:
     #: crashes after which the supervisor stops restarting a node.
     max_restarts: int = 5
 
+    # -- observability -----------------------------------------------------------
+    #: per-node flight-recorder ring capacity (events retained; oldest
+    #: evicted first). Only consulted when tracing is enabled — untraced
+    #: runs allocate no recorders at all.
+    flight_recorder_capacity: int = 512
+
     def __post_init__(self):
         _non_negative("delay_mean", self.delay_mean)
         _non_negative("delay_jitter", self.delay_jitter)
@@ -116,3 +122,8 @@ class LiveConfig:
             _positive("request_deadline", self.request_deadline)
         if self.max_restarts < 0:
             raise ConfigurationError(f"max_restarts must be >= 0, got {self.max_restarts}")
+        if self.flight_recorder_capacity < 1:
+            raise ConfigurationError(
+                "flight_recorder_capacity must be >= 1, got "
+                f"{self.flight_recorder_capacity}"
+            )

@@ -63,9 +63,14 @@ class Envelope:
     #: correlation id: replies echo the request's; 0 = unsolicited.
     corr: int = 0
     payload: dict = field(default_factory=dict)
+    #: causal trace context (``{"id", "parent", "hop"}``) threaded hop to
+    #: hop by the tracing layer; ``None`` = untraced (the default — the
+    #: zero-overhead path is pinned to PR 7 behaviour).
+    trace: "dict | None" = None
 
     def reply(self, kind: str, seq: int, payload: "dict | None" = None) -> "Envelope":
-        """Response envelope: src/dst swapped, correlation id preserved."""
+        """Response envelope: src/dst swapped, correlation id (and any
+        trace context) preserved so a reply stays on its request's chain."""
         return Envelope(
             kind=kind,
             src=self.dst,
@@ -73,6 +78,7 @@ class Envelope:
             seq=seq,
             corr=self.corr,
             payload=payload if payload is not None else {},
+            trace=self.trace,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -45,6 +45,18 @@ class MembershipView:
         self.status: dict[int, int] = {m: ALIVE for m in members}
         #: member -> consecutive failed probe rounds (local evidence only).
         self.suspicion: dict[int, int] = {}
+        #: optional hook ``(member, old, new, reason)`` fired on every
+        #: status transition — the flight recorder's tap. ``None`` (the
+        #: default) keeps the PR 7 zero-overhead path: transitions assign
+        #: the dict directly and no callback machinery runs.
+        self.on_transition = None
+
+    def _set_status(self, m: int, new: int, reason: str) -> None:
+        """Assign a status, notifying the transition hook on change."""
+        old = self.status.get(m, ALIVE)
+        self.status[m] = new
+        if self.on_transition is not None and old != new:
+            self.on_transition(m, old, new, reason)
 
     # -- own heartbeat ---------------------------------------------------------
 
@@ -52,7 +64,7 @@ class MembershipView:
         """Bump and return the owner's heartbeat (one per gossip round)."""
         hb = self.heartbeat[self.owner] + 1
         self.heartbeat[self.owner] = hb
-        self.status[self.owner] = ALIVE
+        self._set_status(self.owner, ALIVE, "self_beat")
         return hb
 
     # -- digest exchange -------------------------------------------------------
@@ -82,20 +94,20 @@ class MembershipView:
                 if status != ALIVE and hb >= self.heartbeat[self.owner]:
                     # Refutation: out-live the rumor of our death.
                     self.heartbeat[self.owner] = hb + 1
-                    self.status[self.owner] = ALIVE
+                    self._set_status(self.owner, ALIVE, "refute")
                 continue
             cur_hb = self.heartbeat[m]
             cur_status = self.status[m]
             if hb > cur_hb:
                 self.heartbeat[m] = hb
                 if status != cur_status:
-                    self.status[m] = status
+                    self._set_status(m, status, "gossip")
                 # Fresh evidence the peer is alive clears local suspicion.
                 if status == ALIVE:
                     self.suspicion.pop(m, None)
                 advanced.add(m)
             elif hb == cur_hb and status > cur_status:
-                self.status[m] = status
+                self._set_status(m, status, "gossip")
         return advanced
 
     # -- failure detector verdicts ---------------------------------------------
@@ -106,7 +118,7 @@ class MembershipView:
         if self.status.get(m, ALIVE) != ALIVE:
             # Local first-hand evidence beats gossip rumor: resurrect and
             # bump the entry so the correction propagates.
-            self.status[m] = ALIVE
+            self._set_status(m, ALIVE, "probe_ack")
             self.heartbeat[m] = self.heartbeat.get(m, 0) + 1
 
     def probe_failed(self, m: int) -> bool:
@@ -121,11 +133,11 @@ class MembershipView:
         count = self.suspicion.get(m, 0) + 1
         self.suspicion[m] = count
         if count >= self.suspicion_threshold:
-            self.status[m] = DEAD
+            self._set_status(m, DEAD, "confirmed")
             self.heartbeat[m] = self.heartbeat.get(m, 0)
             self.suspicion.pop(m, None)
             return True
-        self.status[m] = SUSPECT
+        self._set_status(m, SUSPECT, "suspected")
         return False
 
     # -- queries -----------------------------------------------------------------

@@ -73,13 +73,22 @@ class PeerNode:
         config: "LiveConfig | None" = None,
         seed=None,
         registry=None,
+        tracer=None,
+        recorder=None,
     ):
         self.node_id = int(node_id)
         self.transport = transport
         self.config = config if config is not None else LiveConfig()
+        #: optional :class:`~repro.live.tracing.LiveTracer`; ``None`` =
+        #: the zero-overhead untraced path (pinned to PR 7 behaviour).
+        self.tracer = tracer
+        #: optional :class:`~repro.live.recorder.FlightRecorder`.
+        self.recorder = recorder
         self.view = MembershipView(
             node_id, members, suspicion_threshold=self.config.suspicion_threshold
         )
+        if recorder is not None:
+            self.view.on_transition = self._membership_transition
         self._rng = as_generator(seed)
         self._seq = 0
         self.inbox: "asyncio.Queue | None" = None
@@ -200,7 +209,14 @@ class PeerNode:
         self._seq += 1
         return self._seq
 
-    def _send(self, kind: str, dst: int, payload: "dict | None" = None, corr: int = 0) -> None:
+    def _send(
+        self,
+        kind: str,
+        dst: int,
+        payload: "dict | None" = None,
+        corr: int = 0,
+        trace: "dict | None" = None,
+    ) -> None:
         self.transport.send(
             Envelope(
                 kind=kind,
@@ -209,7 +225,18 @@ class PeerNode:
                 seq=self._next_seq(),
                 corr=corr,
                 payload=payload if payload is not None else {},
+                trace=trace,
             )
+        )
+
+    def _membership_transition(self, member: int, old: int, new: int, reason: str) -> None:
+        """Flight-recorder hook fired by the view on every status change."""
+        self.recorder.record(
+            "membership",
+            member=int(member),
+            old=int(old),
+            new=int(new),
+            reason=reason,
         )
 
     # -- request layer -----------------------------------------------------------
@@ -224,6 +251,7 @@ class PeerNode:
         retries: "int | None" = None,
         deadline: "float | None" = None,
         check_membership: bool = True,
+        trace=None,
     ) -> dict:
         """Send ``kind`` to ``dst`` and await the correlated reply payload.
 
@@ -231,6 +259,12 @@ class PeerNode:
         dead before any attempt), :class:`DeadlineExceeded` (end-to-end
         deadline elapsed), or :class:`RetryBudgetExhausted` (every
         attempt within the budget timed out).
+
+        ``trace`` (a :class:`~repro.live.tracing.TraceContext`) opens
+        one ``send`` span per attempt — each stamped as the envelope's
+        parent, so downstream relays join the right attempt's branch —
+        and closes it with the attempt's outcome (acked / timeout /
+        cancelled).
         """
         cfg = self.config
         timeout = cfg.request_timeout if timeout is None else float(timeout)
@@ -254,20 +288,41 @@ class PeerNode:
                 )
             if attempt > 0:
                 self._m_retries.inc()
+                if self.recorder is not None:
+                    self.recorder.record(
+                        "retry", verb=kind, dst=int(dst), attempt=attempt
+                    )
             corr = next_correlation_id()
             future: asyncio.Future = loop.create_future()
             self._pending[corr] = future
+            span_id = wire = None
+            if trace is not None and self.tracer is not None:
+                span_id = self.tracer.start(
+                    trace.trace_id,
+                    "send",
+                    self.node_id,
+                    parent=trace.parent,
+                    hop=trace.hop,
+                    attempt=attempt,
+                    dst=int(dst),
+                )
+                wire = trace.wire(parent=span_id)
             try:
-                self._send(kind, dst, payload, corr=corr)
+                self._send(kind, dst, payload, corr=corr, trace=wire)
                 wait = timeout
                 if deadline is not None:
                     wait = min(wait, max(0.0, deadline - (loop.time() - started)))
                 reply = await asyncio.wait_for(future, wait)
                 self._h_request_ms.observe((loop.time() - started) * 1000.0)
+                if span_id is not None:
+                    self.tracer.finish(span_id, status="acked")
                 return reply
             except asyncio.TimeoutError:
-                pass
+                if span_id is not None:
+                    self.tracer.finish(span_id, status="timeout")
             except asyncio.CancelledError:
+                if span_id is not None:
+                    self.tracer.finish(span_id, status="cancelled")
                 if self.running:
                     raise  # genuine cancellation of the awaiting task
                 # stop()/crash() cancelled our pending future: surface it
@@ -288,6 +343,10 @@ class PeerNode:
                 if deadline is not None:
                     sleep = min(sleep, max(0.0, deadline - (loop.time() - started)))
                 if sleep > 0:
+                    if self.recorder is not None:
+                        self.recorder.record(
+                            "backoff", verb=kind, dst=int(dst), sleep=round(sleep, 6)
+                        )
                     await asyncio.sleep(sleep)
         if deadline is not None and loop.time() - started >= deadline:
             self._m_deadline.inc()
@@ -303,14 +362,18 @@ class PeerNode:
 
     # -- notification delivery -----------------------------------------------------
 
-    async def publish_along(self, path: "list[int]", seq: int, publisher: int) -> None:
+    async def publish_along(
+        self, path: "list[int]", seq: int, publisher: int, trace=None
+    ) -> None:
         """Push one notification along a source-routed overlay ``path``.
 
         ``path[0]`` must be this node; the final element is the
         subscriber. Raises the request-layer taxonomy on failure.
         """
         payload = {"publisher": int(publisher), "notify_seq": int(seq), "path": list(path)}
-        await self.request(path[1] if len(path) > 1 else path[-1], NOTIFY, payload)
+        await self.request(
+            path[1] if len(path) > 1 else path[-1], NOTIFY, payload, trace=trace
+        )
 
     # -- receive path ---------------------------------------------------------------
 
@@ -372,19 +435,46 @@ class PeerNode:
             me = path.index(self.node_id)
         except ValueError:
             return  # mis-routed: not on the path, drop
+        ctx = env.trace
+        traced = ctx is not None and self.tracer is not None
         if me == len(path) - 1:
             # Final hop: accept (at-least-once, dedup by seq) and ack the
             # publisher directly.
             if seq in self.delivered:
                 self._m_notify_dupes.inc()
+                if traced:
+                    self.tracer.event(
+                        ctx["id"],
+                        "duplicate",
+                        self.node_id,
+                        parent=ctx.get("parent"),
+                        hop=me,
+                    )
             else:
                 self.delivered.add(seq)
                 self._m_notify_delivered.inc()
+                if traced:
+                    self.tracer.event(
+                        ctx["id"],
+                        "delivered",
+                        self.node_id,
+                        parent=ctx.get("parent"),
+                        hop=me,
+                        terminal=True,
+                    )
             self._send(NOTIFY_ACK, publisher, {"notify_seq": seq}, corr=env.corr)
             return
         # Relay: forward one hop along the path, same correlation id, so
         # the subscriber's ack resolves the publisher's original future.
-        self._send(NOTIFY, path[me + 1], env.payload, corr=env.corr)
+        # A traced relay records its span first and re-stamps the wire
+        # context, so the next hop parents to this one — the causal chain.
+        wire = None
+        if traced:
+            span_id = self.tracer.event(
+                ctx["id"], "relay", self.node_id, parent=ctx.get("parent"), hop=me
+            )
+            wire = {"id": ctx["id"], "parent": span_id, "hop": me}
+        self._send(NOTIFY, path[me + 1], env.payload, corr=env.corr, trace=wire)
 
     # -- gossip loop -------------------------------------------------------------------
 
@@ -467,19 +557,30 @@ class PeerNode:
             self._h_probe_ms.observe((loop.time() - started) * 1000.0)
             self.view.probe_succeeded(target)
             self._last_advance[target] = loop.time()
+            if self.recorder is not None:
+                self.recorder.record("probe", target=int(target), outcome="direct_ack")
             return
         except (RetryBudgetExhausted, DeadlineExceeded):
             pass
         if await self._indirect_probe(target):
             self.view.probe_succeeded(target)
             self._last_advance[target] = loop.time()
+            if self.recorder is not None:
+                self.recorder.record("probe", target=int(target), outcome="indirect_ack")
             return
         truth = self.truth_alive
         actually_alive = bool(truth(target)) if truth is not None else False
         self._m_suspicions.inc()
         if actually_alive:
             self._m_false_suspicions.inc()
-        if self.view.probe_failed(target):
+        confirmed = self.view.probe_failed(target)
+        if self.recorder is not None:
+            self.recorder.record(
+                "probe",
+                target=int(target),
+                outcome="confirmed_dead" if confirmed else "suspected",
+            )
+        if confirmed:
             self._m_confirms.inc()
             if actually_alive:
                 self._m_false_confirms.inc()

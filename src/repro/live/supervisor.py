@@ -42,6 +42,10 @@ class NodeSupervisor:
         self._killed: set[int] = set()
         #: nodes abandoned after ``max_restarts`` consecutive crashes.
         self._given_up: set[int] = set()
+        #: optional hook ``(node_id, kind, detail)`` fired on crash /
+        #: restart / gave_up / kill — the traced cluster's incident tap
+        #: (flight-recorder entries + crash dumps). ``None`` = untraced.
+        self.on_incident = None
         registry = registry if registry is not None else get_registry()
         self._m_crashes = registry.counter("live.node_crashes", "node task crashes observed")
         self._m_restarts = registry.counter("live.node_restarts", "nodes restarted after a crash")
@@ -73,11 +77,13 @@ class NodeSupervisor:
         self._m_crashes.inc()
         count = self._crashes.get(node.node_id, 0) + 1
         self._crashes[node.node_id] = count
+        self._incident(node.node_id, "crash", {"count": count})
         # Tear the wreck down fully before deciding whether to restart.
         await node.stop()
         if count > self.config.max_restarts:
             self._given_up.add(node.node_id)
             self._m_gave_up.inc()
+            self._incident(node.node_id, "gave_up", {"count": count})
             return
         backoff = min(
             self.config.restart_backoff * (2.0 ** (count - 1)),
@@ -89,8 +95,13 @@ class NodeSupervisor:
         if node.node_id in self._killed:
             return
         self._m_restarts.inc()
+        self._incident(node.node_id, "restart", {"count": count})
         new_tasks = node.start()
         self._watch(node, new_tasks)
+
+    def _incident(self, node_id: int, kind: str, detail: "dict | None" = None) -> None:
+        if self.on_incident is not None:
+            self.on_incident(int(node_id), kind, dict(detail or {}))
 
     # -- scenario controls -----------------------------------------------------
 
@@ -103,6 +114,7 @@ class NodeSupervisor:
         watcher = self._watchers.pop(node_id, None)
         if watcher is not None:
             watcher.cancel()
+        self._incident(node_id, "kill", {})
 
     def restart_count(self, node_id: int) -> int:
         return self._crashes.get(node_id, 0)

@@ -1,0 +1,194 @@
+"""Causal span emission for the live runtime.
+
+One :class:`LiveTracer` per traced cluster turns protocol moments into
+``select-repro/live-trace/v1`` spans (see
+:mod:`repro.telemetry.livetrace` for the schema) and records them into
+the shared PR 3 :class:`~repro.telemetry.tracer.RouteTracer`, whose
+JSONL export and keep-oldest truncation policy the live runtime reuses
+unchanged.
+
+Tracing is **opt-in and zero-overhead when off**: every emission site
+guards with ``if tracer is not None`` (and envelopes default to
+``trace=None``), so an untraced run executes exactly the PR 7 code
+path. Timestamps come from an injectable monotonic *clock* — the
+cluster passes :meth:`~repro.live.transport.LoopbackTransport.now` so
+span times, transport partitions, and the flight recorders all share
+one elapsed-seconds axis and never touch wall-clock directly; tests can
+inject a counter for byte-diffable traces.
+
+Context propagates hop to hop as a tiny wire dict on
+:class:`~repro.live.envelope.Envelope` (``{"id", "parent", "hop"}``):
+the publisher's request layer opens one ``send`` span per attempt and
+stamps its id as the envelope's parent; each relay records a ``relay``
+span parented to the incoming id and re-stamps; the subscriber closes
+the chain with the ``delivered`` terminal. Exactly one terminal per
+trace is enforced here — a late duplicate terminal (e.g. a catch-up
+recovery racing a live delivery) is downgraded to a non-terminal
+annotation with ``post_terminal: true``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TraceContext", "LiveTracer"]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Causal coordinates one request layer call carries downstream."""
+
+    #: the causal chain key: ``"<notify_seq>:<subscriber>"``.
+    trace_id: str
+    #: span id the next emitted span must parent to.
+    parent: int
+    #: hop index of the *carrier* (0 at the publisher).
+    hop: int = 0
+
+    def wire(self, parent: "int | None" = None) -> dict:
+        """JSON-safe context stamped onto an envelope."""
+        return {
+            "id": self.trace_id,
+            "parent": self.parent if parent is None else int(parent),
+            "hop": int(self.hop),
+        }
+
+
+class LiveTracer:
+    """Span factory bound to one sink tracer and one elapsed clock."""
+
+    def __init__(self, sink, clock=None):
+        #: the :class:`~repro.telemetry.tracer.RouteTracer` spans land in.
+        self.sink = sink
+        #: injectable monotonic clock (elapsed seconds, never wall-clock).
+        self.clock = clock if clock is not None else (lambda: 0.0)
+        self._next_span = 0
+        #: span id -> span dict, for two-phase (start/finish) spans.
+        self._open: "dict[int, dict]" = {}
+        #: trace ids that already carry their one terminal span.
+        self._terminated: "set[str]" = set()
+
+    # -- span lifecycle --------------------------------------------------------
+
+    def _new_span(
+        self,
+        trace_id: str,
+        name: str,
+        node: int,
+        parent: "int | None",
+        hop: "int | None",
+        attrs: dict,
+    ) -> dict:
+        self._next_span += 1
+        span = {
+            "type": "live",
+            "trace_id": str(trace_id),
+            "span": self._next_span,
+            "parent": None if parent is None else int(parent),
+            "name": str(name),
+            "node": int(node),
+            "t0": float(self.clock()),
+            "t1": None,
+            "terminal": False,
+        }
+        if hop is not None:
+            span["hop"] = int(hop)
+        if attrs:
+            span["attrs"] = attrs
+        return span
+
+    def start(
+        self,
+        trace_id: str,
+        name: str,
+        node: int,
+        parent: "int | None" = None,
+        hop: "int | None" = None,
+        **attrs,
+    ) -> int:
+        """Open a span that brackets an await; finish() records it."""
+        span = self._new_span(trace_id, name, node, parent, hop, attrs)
+        self._open[span["span"]] = span
+        return span["span"]
+
+    def finish(
+        self,
+        span_id: int,
+        terminal: bool = False,
+        status: "str | None" = None,
+        **attrs,
+    ) -> None:
+        """Close an open span and record it into the sink."""
+        span = self._open.pop(span_id, None)
+        if span is None:
+            return
+        span["t1"] = float(self.clock())
+        self._record(span, terminal=terminal, status=status, attrs=attrs)
+
+    def event(
+        self,
+        trace_id: str,
+        name: str,
+        node: int,
+        parent: "int | None" = None,
+        hop: "int | None" = None,
+        terminal: bool = False,
+        status: "str | None" = None,
+        **attrs,
+    ) -> int:
+        """Record one instantaneous span (``t0 == t1``); returns its id."""
+        span = self._new_span(trace_id, name, node, parent, hop, attrs={})
+        span["t1"] = span["t0"]
+        self._record(span, terminal=terminal, status=status, attrs=attrs)
+        return span["span"]
+
+    def _record(self, span: dict, terminal: bool, status: "str | None", attrs: dict) -> None:
+        if status is not None:
+            span["status"] = str(status)
+        if attrs:
+            span.setdefault("attrs", {}).update(attrs)
+        if terminal:
+            # One terminal per trace: a racing second resolution (live
+            # delivery vs catch-up recovery) degrades to an annotation.
+            if span["trace_id"] in self._terminated:
+                terminal = False
+                span.setdefault("attrs", {})["post_terminal"] = True
+            else:
+                self._terminated.add(span["trace_id"])
+        span["terminal"] = bool(terminal)
+        self.sink.record(span)
+
+    # -- convenience emitters ----------------------------------------------------
+
+    def drop(self, envelope, cause: str) -> None:
+        """Annotate a traced envelope the transport killed, by cause."""
+        ctx = envelope.trace
+        if ctx is None:
+            return
+        self.event(
+            ctx["id"],
+            "drop",
+            envelope.dst,
+            parent=ctx.get("parent"),
+            hop=ctx.get("hop"),
+            status=str(cause),
+            src=int(envelope.src),
+        )
+
+    # -- queries / teardown --------------------------------------------------------
+
+    def has_terminal(self, trace_id: str) -> bool:
+        """Whether the trace's one terminal span was already recorded."""
+        return str(trace_id) in self._terminated
+
+    def flush_open(self) -> int:
+        """Close every still-open span as ``status="unfinished"``.
+
+        Called at end of run so a request still awaiting its reply when
+        the cluster shuts down cannot leave an orphan parent reference
+        in the exported JSONL. Returns the number flushed.
+        """
+        leftover = list(self._open)
+        for span_id in leftover:
+            self.finish(span_id, status="unfinished")
+        return len(leftover)

@@ -42,6 +42,7 @@ class LoopbackTransport:
         faults: "FaultPlan | None" = None,
         seed=None,
         registry=None,
+        time_source=None,
     ):
         #: ring identifiers indexed by node id (partition side lookups);
         #: ``None`` disables partition checks even if the plan has windows.
@@ -50,6 +51,14 @@ class LoopbackTransport:
         self._rng = as_generator(seed)
         self._inboxes: dict[int, asyncio.Queue] = {}
         self._t0: "float | None" = None
+        #: injectable monotonic clock; ``None`` = the event loop's clock.
+        #: Span timestamps and partition windows share this axis, so a
+        #: test can inject a deterministic counter and diff traces byte
+        #: for byte across reruns.
+        self._time_source = time_source
+        #: optional :class:`~repro.live.tracing.LiveTracer`; when set,
+        #: every dropped *traced* envelope is annotated with its cause.
+        self.tracer = None
         registry = registry if registry is not None else get_registry()
         self._m_sent = registry.counter("transport.sent", "envelopes handed to the fabric")
         self._m_delivered = registry.counter(
@@ -67,15 +76,25 @@ class LoopbackTransport:
 
     # -- clock ---------------------------------------------------------------
 
+    def _clock(self) -> float:
+        if self._time_source is not None:
+            return float(self._time_source())
+        return asyncio.get_running_loop().time()
+
     def start_clock(self) -> None:
         """Pin elapsed-time zero; partition windows are relative to this."""
-        self._t0 = asyncio.get_running_loop().time()
+        self._t0 = self._clock()
 
     def now(self) -> float:
-        """Elapsed wall-clock seconds since :meth:`start_clock` (0 before)."""
+        """Elapsed seconds since :meth:`start_clock` (0 before).
+
+        This is the cluster's one shared time axis: partition windows,
+        span timestamps, and flight-recorder events all read it, so a
+        post-mortem can line the three up without clock skew.
+        """
         if self._t0 is None:
             return 0.0
-        return asyncio.get_running_loop().time() - self._t0
+        return self._clock() - self._t0
 
     # -- membership of the fabric ---------------------------------------------
 
@@ -114,13 +133,16 @@ class LoopbackTransport:
         inbox = self._inboxes.get(env.dst)
         if inbox is None:
             self._m_unregistered.inc()
+            self._trace_drop(env, "crashed_dst")
             return False
         if not self.link_open(env.src, env.dst):
             self._m_partitioned.inc()
+            self._trace_drop(env, "partition")
             return False
         p = self.faults.hop_loss(env.src, env.dst)
         if p > 0.0 and self._rng.random() < p:
             self._m_lost.inc()
+            self._trace_drop(env, "loss")
             return False
         delay = self._sample_delay()
         loop = asyncio.get_running_loop()
@@ -135,9 +157,15 @@ class LoopbackTransport:
         # crashed while the envelope was in flight.
         if self._inboxes.get(dst) is not inbox:
             self._m_unregistered.inc()
+            self._trace_drop(env, "inflight_crash")
             return
         inbox.put_nowait(env)
         self._m_delivered.inc()
+
+    def _trace_drop(self, env: Envelope, cause: str) -> None:
+        """Annotate a traced envelope's chain with the drop cause."""
+        if self.tracer is not None and env.trace is not None:
+            self.tracer.drop(env, cause)
 
     def _sample_delay(self) -> float:
         return 0.0  # overridden per-cluster via configure_delay

@@ -27,7 +27,15 @@ from repro.sim.runner import SimulationReport
 from repro.util.atomicio import atomic_write_json
 from repro.util.exceptions import ConfigurationError
 
-__all__ = ["VERDICT_SCHEMA", "VERDICT_FILE", "SLOSpec", "build_verdict", "write_verdict"]
+__all__ = [
+    "VERDICT_SCHEMA",
+    "VERDICT_FILE",
+    "SLOSpec",
+    "LIVE_TRACE_SLO",
+    "build_verdict",
+    "evaluate_live_trace",
+    "write_verdict",
+]
 
 VERDICT_SCHEMA = "select-repro/verdict/v1"
 VERDICT_FILE = "verdict.json"
@@ -102,6 +110,60 @@ class SLOSpec:
                 }
             )
         return rows
+
+
+#: the default objectives a *traced live run* must hold, judged against
+#: trace-derived evidence (:func:`repro.telemetry.livetrace.summarize`)
+#: rather than the publisher's own counters. ``total_availability`` here
+#: is the complete-causal-chain ratio — a pair only counts if its whole
+#: publish→delivery story is reconstructable from spans — and the hop
+#: ceiling bounds the overlay detour even under crashes and partitions.
+#: No wall-clock latency ceiling by default: live runs ride the real
+#: event loop, and a shared-CI scheduling hiccup must not fail the SLO.
+LIVE_TRACE_SLO = SLOSpec(
+    total_availability_floor=0.99,
+    p99_hops_ceiling=24.0,
+)
+
+
+def _live_trace_observed(summary: dict) -> dict:
+    """Map a live-trace summary onto the SLO objective vocabulary."""
+    n = int(summary.get("traces", 0))
+    terminals = summary.get("terminals", {})
+    delivered = int(terminals.get("delivered", 0))
+    unresolved = int(terminals.get("pending", 0)) + int(terminals.get("none", 0))
+    recovered = int(terminals.get("recovered", 0))
+    return {
+        "availability": (delivered / n) if n else 1.0,
+        "total_availability": float(summary.get("complete_chain_ratio", 1.0)),
+        "p99_hops": _nearest_rank([float(h) for h in summary.get("hops", [])], 0.99),
+        "p99_latency_ms": _nearest_rank(
+            [float(v) for v in summary.get("latency_ms", [])], 0.99
+        ),
+        # "drops" here are causal-chain failures: a pair whose story has
+        # holes (orphans) or never resolved is observability loss even
+        # when the notification itself arrived.
+        "drop_rate": ((int(summary.get("orphan_spans", 0)) + unresolved) / n)
+        if n
+        else 0.0,
+        "shed_rate": ((recovered + unresolved) / n) if n else 0.0,
+    }
+
+
+def evaluate_live_trace(summary: dict, slo: "SLOSpec | None" = None) -> dict:
+    """Judge one traced live run's chain summary against an SLO spec.
+
+    Returns ``{"observed", "objectives", "passed"}`` — the same row shape
+    as :func:`build_verdict`, embeddable in the live run's report.
+    """
+    slo = slo if slo is not None else LIVE_TRACE_SLO
+    observed = _live_trace_observed(summary)
+    objectives = slo.objectives(observed)
+    return {
+        "observed": observed,
+        "objectives": objectives,
+        "passed": bool(all(o["passed"] for o in objectives)),
+    }
 
 
 def _observe(report: SimulationReport, registry=None) -> dict:

@@ -67,36 +67,59 @@ def registry_snapshot(registry: MetricsRegistry) -> dict:
     }
 
 
+def _prom_labels(labels: dict, extra: "tuple[tuple[str, str], ...]" = ()) -> str:
+    """Render a label set (sorted keys; ``extra`` pairs appended last)."""
+    pairs = [(_prom_name(k), str(labels[k])) for k in sorted(labels)]
+    pairs.extend(extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in pairs) + "}"
+
+
 def prometheus_text(registry: MetricsRegistry, prefix: str = "select_repro") -> str:
-    """Prometheus text exposition format (v0.0.4) for the registry."""
+    """Prometheus text exposition format (v0.0.4) for the registry.
+
+    Labeled series of one metric family share one ``# HELP``/``# TYPE``
+    header (emitted at the family's first series); iteration follows the
+    registry's sorted composite keys, so an unlabeled series sorts just
+    before its labeled siblings and the exposition is byte-stable.
+    """
     lines: list[str] = []
-    for name, counter in registry.counters().items():
-        metric = f"{prefix}_{_prom_name(name)}"
-        if counter.help:
-            lines.append(f"# HELP {metric} {counter.help}")
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {_fmt(counter.value)}")
-    for name, gauge in registry.gauges().items():
-        metric = f"{prefix}_{_prom_name(name)}"
-        if gauge.help:
-            lines.append(f"# HELP {metric} {gauge.help}")
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {_fmt(gauge.value)}")
-    for name, hist in registry.histograms().items():
-        metric = f"{prefix}_{_prom_name(name)}"
-        if hist.help:
-            lines.append(f"# HELP {metric} {hist.help}")
-        lines.append(f"# TYPE {metric} histogram")
+    seen: set[str] = set()
+
+    def header(metric: str, help_text: str, type_name: str) -> None:
+        if metric in seen:
+            return
+        seen.add(metric)
+        if help_text:
+            lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} {type_name}")
+
+    for counter in registry.counters().values():
+        metric = f"{prefix}_{_prom_name(counter.name)}"
+        header(metric, counter.help, "counter")
+        lines.append(f"{metric}{_prom_labels(counter.labels)} {_fmt(counter.value)}")
+    for gauge in registry.gauges().values():
+        metric = f"{prefix}_{_prom_name(gauge.name)}"
+        header(metric, gauge.help, "gauge")
+        lines.append(f"{metric}{_prom_labels(gauge.labels)} {_fmt(gauge.value)}")
+    for hist in registry.histograms().values():
+        metric = f"{prefix}_{_prom_name(hist.name)}"
+        header(metric, hist.help, "histogram")
         for edge, cum in zip(hist.buckets, hist.cumulative()):
-            lines.append(f'{metric}_bucket{{le="{_fmt(edge)}"}} {cum}')
-        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
-        lines.append(f"{metric}_sum {_fmt(hist.sum)}")
-        lines.append(f"{metric}_count {hist.count}")
+            labels = _prom_labels(hist.labels, extra=(("le", _fmt(edge)),))
+            lines.append(f"{metric}_bucket{labels} {cum}")
+        labels = _prom_labels(hist.labels, extra=(("le", "+Inf"),))
+        lines.append(f"{metric}_bucket{labels} {hist.count}")
+        lines.append(f"{metric}_sum{_prom_labels(hist.labels)} {_fmt(hist.sum)}")
+        lines.append(f"{metric}_count{_prom_labels(hist.labels)} {hist.count}")
     return "\n".join(lines) + "\n"
 
 
 def _trace_summary(tracer) -> dict:
     """Aggregate view of the spans for the JSON report."""
+    from repro.telemetry import livetrace
+
     spans = tracer.to_rows()
     publishes = [s for s in spans if s.get("type") == "publish"]
     lookups = [s for s in spans if s.get("type") == "lookup"]
@@ -109,7 +132,7 @@ def _trace_summary(tracer) -> dict:
             for hop in route.get("hops_detail", ()):
                 kind = hop.get("link", "other")
                 link_kinds[kind] = link_kinds.get(kind, 0) + 1
-    return {
+    summary = {
         "spans": len(spans),
         "publishes": len(publishes),
         "lookups": len(lookups),
@@ -117,6 +140,23 @@ def _trace_summary(tracer) -> dict:
         "mean_hops": (sum(hops) / len(hops)) if hops else 0.0,
         "link_kinds": dict(sorted(link_kinds.items())),
     }
+    live = livetrace.live_spans(spans)
+    if live:
+        chains = livetrace.summarize(live)
+        summary["live"] = {
+            key: chains[key]
+            for key in (
+                "schema",
+                "traces",
+                "complete_chains",
+                "complete_chain_ratio",
+                "orphan_spans",
+                "chain_errors",
+                "terminals",
+            )
+        }
+        summary["live"]["spans"] = len(live)
+    return summary
 
 
 def write_telemetry(
@@ -138,6 +178,16 @@ def write_telemetry(
     """
     os.makedirs(out_dir, exist_ok=True)
     paths = {}
+
+    if tracer is not None:
+        # Surface the keep-oldest retention loss where dashboards look:
+        # a nonzero value means the tail of the run is *not* in
+        # traces.jsonl (the oldest spans are kept; later ones counted
+        # and dropped), so chain ratios must be read with that caveat.
+        registry.gauge(
+            "tracer.dropped_spans",
+            "spans dropped by the tracer's keep-oldest retention limit",
+        ).set(tracer.dropped_spans)
 
     paths["metrics"] = atomic_write_text(
         os.path.join(out_dir, METRICS_FILE), prometheus_text(registry)

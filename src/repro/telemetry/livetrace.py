@@ -1,0 +1,183 @@
+"""The ``select-repro/live-trace/v1`` span contract and chain assembly.
+
+The live runtime (:mod:`repro.live`) emits *causal* spans — one trace
+per intended ``(notification, subscriber)`` pair — into the PR 3
+:class:`~repro.telemetry.tracer.RouteTracer` JSONL stream alongside the
+simulator's ``publish``/``lookup`` spans. A live span is a JSON object
+with ``"type": "live"`` and:
+
+* ``trace_id``  — ``"<notify_seq>:<subscriber>"``, the causal chain key;
+* ``span``      — tracer-unique integer span id;
+* ``parent``    — parent span id within the same trace, ``null`` for the
+  root (exactly one root per trace: the ``publish`` span);
+* ``name``      — span kind: ``publish`` (root), ``send`` (one request
+  attempt at the publisher), ``relay`` (a NOTIFY hop at an intermediate
+  node), ``drop`` (the transport killed the envelope; ``status`` names
+  the cause), ``shed`` (retry budget spent, degraded to catch-up),
+  ``duplicate`` (redundant at-least-once delivery, deduplicated), and
+  the terminals below;
+* ``node``      — the node the event happened at;
+* ``hop``       — hop index along the source route (root/``send`` = 0);
+* ``t0`` / ``t1`` — start/end on the cluster's shared elapsed clock
+  (:meth:`~repro.live.transport.LoopbackTransport.now`, never
+  wall-clock), so seeded runs under an injected clock are diffable;
+* ``terminal``  — exactly one span per trace carries ``true``; its name
+  must be one of :data:`TERMINAL_NAMES`.
+
+A chain is **complete** when it has one root, one terminal whose name is
+in :data:`COMPLETE_TERMINALS` (``delivered``, ``recovered``,
+``dead_subscriber`` — ``pending`` closes the chain but marks the pair
+unresolved), and zero *orphans* (spans whose parent id is absent from
+the trace). :func:`chain_errors` is the validator's per-trace check;
+:func:`summarize` is the aggregate view the run report and the
+cluster's SLO evaluation share.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "LIVE_TRACE_SCHEMA",
+    "LIVE_SPAN_TYPE",
+    "LIVE_SPAN_REQUIRED",
+    "TERMINAL_NAMES",
+    "COMPLETE_TERMINALS",
+    "assemble",
+    "chain_errors",
+    "is_complete",
+    "summarize",
+]
+
+LIVE_TRACE_SCHEMA = "select-repro/live-trace/v1"
+
+#: the ``type`` tag distinguishing live spans in a mixed traces.jsonl.
+LIVE_SPAN_TYPE = "live"
+
+#: keys every live span must carry (validated line by line).
+LIVE_SPAN_REQUIRED = ("trace_id", "span", "parent", "name", "node", "t0", "t1")
+
+#: span names allowed to close a chain (``terminal: true``).
+TERMINAL_NAMES = ("delivered", "recovered", "dead_subscriber", "pending")
+
+#: terminals that count as a *resolved* causal chain.
+COMPLETE_TERMINALS = ("delivered", "recovered", "dead_subscriber")
+
+
+def live_spans(spans) -> "list[dict]":
+    """The live-trace subset of a mixed span stream."""
+    return [s for s in spans if s.get("type") == LIVE_SPAN_TYPE]
+
+
+def assemble(spans) -> "dict[str, list[dict]]":
+    """Group live spans by ``trace_id`` (insertion order preserved)."""
+    traces: "dict[str, list[dict]]" = {}
+    for span in live_spans(spans):
+        traces.setdefault(str(span.get("trace_id")), []).append(span)
+    return traces
+
+
+def chain_errors(trace_id: str, spans: "list[dict]") -> "list[str]":
+    """Causal-chain violations in one assembled trace (empty = sound).
+
+    Checks the cross-span invariants the per-line schema cannot see:
+    exactly one root, every parent resolvable inside the trace (no
+    orphan spans), unique span ids, and exactly one terminal whose name
+    is a known terminal kind.
+    """
+    errors: "list[str]" = []
+    ids: "set[int]" = set()
+    for span in spans:
+        sid = span.get("span")
+        if sid in ids:
+            errors.append(f"trace {trace_id!r}: duplicate span id {sid}")
+        ids.add(sid)
+    roots = [s for s in spans if s.get("parent") is None]
+    if len(roots) != 1:
+        errors.append(
+            f"trace {trace_id!r}: expected exactly one root span, got {len(roots)}"
+        )
+    orphans = [
+        s for s in spans if s.get("parent") is not None and s.get("parent") not in ids
+    ]
+    for span in orphans:
+        errors.append(
+            f"trace {trace_id!r}: orphan span {span.get('span')} "
+            f"({span.get('name')!r}) references missing parent {span.get('parent')}"
+        )
+    terminals = [s for s in spans if s.get("terminal")]
+    if not terminals:
+        errors.append(f"trace {trace_id!r}: no terminal span (chain never resolved)")
+    elif len(terminals) > 1:
+        names = ", ".join(str(s.get("name")) for s in terminals)
+        errors.append(
+            f"trace {trace_id!r}: {len(terminals)} terminal spans ({names}); "
+            f"exactly one allowed"
+        )
+    for span in terminals:
+        if span.get("name") not in TERMINAL_NAMES:
+            errors.append(
+                f"trace {trace_id!r}: unknown terminal kind {span.get('name')!r}; "
+                f"allowed: {', '.join(TERMINAL_NAMES)}"
+            )
+    return errors
+
+
+def _terminal(spans: "list[dict]") -> "dict | None":
+    for span in spans:
+        if span.get("terminal"):
+            return span
+    return None
+
+
+def is_complete(trace_id: str, spans: "list[dict]") -> bool:
+    """Sound chain whose terminal resolves the pair (not ``pending``)."""
+    if chain_errors(trace_id, spans):
+        return False
+    terminal = _terminal(spans)
+    return terminal is not None and terminal.get("name") in COMPLETE_TERMINALS
+
+
+def summarize(spans) -> dict:
+    """Aggregate chain statistics over a mixed span stream.
+
+    Returns trace counts, per-terminal-kind counts, the complete-chain
+    ratio, total orphan spans, and the raw per-trace latency (ms, root
+    ``t0`` to terminal ``t1``) and hop-count samples (delivered chains
+    only) that feed histograms and SLO evaluation.
+    """
+    traces = assemble(spans)
+    terminals: "dict[str, int]" = {}
+    complete = 0
+    orphan_spans = 0
+    chain_error_count = 0
+    latencies_ms: "list[float]" = []
+    hops: "list[int]" = []
+    for trace_id, trace in traces.items():
+        errors = chain_errors(trace_id, trace)
+        chain_error_count += len(errors)
+        orphan_spans += sum(1 for e in errors if "orphan span" in e)
+        terminal = _terminal(trace)
+        kind = str(terminal.get("name")) if terminal is not None else "none"
+        terminals[kind] = terminals.get(kind, 0) + 1
+        if not errors and kind in COMPLETE_TERMINALS:
+            complete += 1
+        if terminal is not None and not errors:
+            roots = [s for s in trace if s.get("parent") is None]
+            if roots:
+                t0 = roots[0].get("t0")
+                t1 = terminal.get("t1")
+                if t0 is not None and t1 is not None:
+                    latencies_ms.append(max(0.0, (float(t1) - float(t0)) * 1000.0))
+            if kind == "delivered" and terminal.get("hop") is not None:
+                hops.append(int(terminal["hop"]))
+    n = len(traces)
+    return {
+        "schema": LIVE_TRACE_SCHEMA,
+        "traces": n,
+        "complete_chains": complete,
+        "complete_chain_ratio": (complete / n) if n else 1.0,
+        "orphan_spans": orphan_spans,
+        "chain_errors": chain_error_count,
+        "terminals": dict(sorted(terminals.items())),
+        "latency_ms": latencies_ms,
+        "hops": hops,
+    }

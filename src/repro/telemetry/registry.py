@@ -57,14 +57,29 @@ HOP_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0)
 TIME_BUCKETS_S = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0)
 
 
+def _label_key(name: str, labels: "dict | None") -> str:
+    """Composite instrument key: ``name`` or ``name{k=v,...}`` (sorted keys).
+
+    Sorting makes the key (and therefore snapshot/export ordering)
+    independent of the caller's dict ordering — two runs that touch the
+    same label sets produce byte-identical exports.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
 class Counter:
     """Monotonically increasing scalar."""
 
-    __slots__ = ("name", "help", "_value")
+    __slots__ = ("name", "help", "labels", "_value")
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "", labels: "dict | None" = None):
         self.name = name
         self.help = help
+        #: label set of this series; ``{}`` = the unlabeled series.
+        self.labels = dict(labels) if labels else {}
         self._value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
@@ -80,11 +95,12 @@ class Counter:
 class Gauge:
     """Scalar that can go up and down (buffer occupancy, live peers)."""
 
-    __slots__ = ("name", "help", "_value")
+    __slots__ = ("name", "help", "labels", "_value")
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "", labels: "dict | None" = None):
         self.name = name
         self.help = help
+        self.labels = dict(labels) if labels else {}
         self._value = 0.0
 
     def set(self, value: float) -> None:
@@ -109,9 +125,11 @@ class Histogram:
     snapshots are deterministic across runs and platforms.
     """
 
-    __slots__ = ("name", "help", "buckets", "counts", "sum", "count")
+    __slots__ = ("name", "help", "labels", "buckets", "counts", "sum", "count")
 
-    def __init__(self, name: str, buckets=DEFAULT_BUCKETS, help: str = ""):
+    def __init__(
+        self, name: str, buckets=DEFAULT_BUCKETS, help: str = "", labels: "dict | None" = None
+    ):
         edges = tuple(float(b) for b in buckets)
         if not edges:
             raise ConfigurationError(f"histogram {name}: needs at least one bucket edge")
@@ -121,6 +139,7 @@ class Histogram:
             )
         self.name = name
         self.help = help
+        self.labels = dict(labels) if labels else {}
         self.buckets = edges
         self.counts = [0] * (len(edges) + 1)  # last slot is +Inf
         self.sum = 0.0
@@ -233,14 +252,19 @@ class MetricsRegistry:
             )
         return inst
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get(name, Counter, lambda: Counter(name, help))
+    def counter(self, name: str, help: str = "", labels: "dict | None" = None) -> Counter:
+        key = _label_key(name, labels)
+        return self._get(key, Counter, lambda: Counter(name, help, labels))
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get(name, Gauge, lambda: Gauge(name, help))
+    def gauge(self, name: str, help: str = "", labels: "dict | None" = None) -> Gauge:
+        key = _label_key(name, labels)
+        return self._get(key, Gauge, lambda: Gauge(name, help, labels))
 
-    def histogram(self, name: str, buckets=DEFAULT_BUCKETS, help: str = "") -> Histogram:
-        return self._get(name, Histogram, lambda: Histogram(name, buckets, help))
+    def histogram(
+        self, name: str, buckets=DEFAULT_BUCKETS, help: str = "", labels: "dict | None" = None
+    ) -> Histogram:
+        key = _label_key(name, labels)
+        return self._get(key, Histogram, lambda: Histogram(name, buckets, help, labels))
 
     def timer(self, name: str) -> Timer:
         hist = self.histogram(f"{name}.seconds", buckets=TIME_BUCKETS_S)
@@ -270,6 +294,7 @@ class _NullInstrument:
     __slots__ = ()
     name = "null"
     help = ""
+    labels: dict = {}
     value = 0.0
     sum = 0.0
     count = 0
@@ -321,13 +346,15 @@ class NullRegistry(MetricsRegistry):
     def __init__(self):
         super().__init__()
 
-    def counter(self, name: str, help: str = ""):
+    def counter(self, name: str, help: str = "", labels: "dict | None" = None):
         return _NULL_INSTRUMENT
 
-    def gauge(self, name: str, help: str = ""):
+    def gauge(self, name: str, help: str = "", labels: "dict | None" = None):
         return _NULL_INSTRUMENT
 
-    def histogram(self, name: str, buckets=DEFAULT_BUCKETS, help: str = ""):
+    def histogram(
+        self, name: str, buckets=DEFAULT_BUCKETS, help: str = "", labels: "dict | None" = None
+    ):
         return _NULL_INSTRUMENT
 
     def timer(self, name: str):

@@ -12,12 +12,13 @@ from __future__ import annotations
 import json
 import os
 
+from repro.telemetry import livetrace
 from repro.telemetry.export import REPORT_FILE, TRACES_FILE
 from repro.telemetry.tracer import RouteTracer
 from repro.util.exceptions import ConfigurationError
 from repro.util.tables import format_table
 
-__all__ = ["load_report", "render_report"]
+__all__ = ["load_report", "render_report", "render_trace_tree"]
 
 #: per-message traces printed in full before the renderer summarizes.
 MAX_TRACED_MESSAGES = 8
@@ -96,6 +97,109 @@ def _render_traces(telemetry_dir: str, lines: list[str]) -> None:
             )
     if len(publishes) > MAX_TRACED_MESSAGES:
         lines.append(f"  ... {len(publishes) - MAX_TRACED_MESSAGES} more in {TRACES_FILE}")
+
+
+#: live causal trees printed in full before the trace verb summarizes.
+MAX_TRACE_TREES = 10
+
+
+def _span_line(span: dict, depth: int) -> str:
+    """One span as an indented timeline row."""
+    name = str(span.get("name"))
+    if span.get("terminal"):
+        name += "*"
+    parts = [f"{'  ' * depth}[{float(span.get('t0', 0.0)):9.4f}s] {name:<12}"]
+    parts.append(f"node {span.get('node')}")
+    if span.get("hop") is not None:
+        parts.append(f"hop {span['hop']}")
+    if span.get("status") is not None:
+        parts.append(f"({span['status']})")
+    attrs = span.get("attrs") or {}
+    if attrs:
+        parts.append(" ".join(f"{k}={v}" for k, v in sorted(attrs.items())))
+    return "  ".join(parts)
+
+
+def _render_tree(trace_id: str, spans: "list[dict]", lines: "list[str]") -> None:
+    """Causal tree of one live trace: children indented under parents."""
+    spans = sorted(spans, key=lambda s: (float(s.get("t0", 0.0)), int(s.get("span", 0))))
+    children: "dict[object, list[dict]]" = {}
+    ids = {s.get("span") for s in spans}
+    for span in spans:
+        parent = span.get("parent")
+        key = parent if parent in ids else None
+        children.setdefault(key, []).append(span)
+    terminal = next((s for s in spans if s.get("terminal")), None)
+    verdict = str(terminal.get("name")) if terminal is not None else "unresolved"
+    errors = livetrace.chain_errors(trace_id, spans)
+    mark = "" if not errors else f"  [{len(errors)} chain error(s)]"
+    lines.append(f"trace {trace_id}  ({len(spans)} spans, terminal: {verdict}){mark}")
+
+    emitted: "set[object]" = set()
+
+    def walk(parent_key, depth: int) -> None:
+        for span in children.get(parent_key, ()):  # insertion = time order
+            sid = span.get("span")
+            if sid in emitted:
+                continue
+            emitted.add(sid)
+            lines.append(_span_line(span, depth))
+            walk(sid, depth + 1)
+
+    walk(None, 1)
+    for err in errors:
+        lines.append(f"  ! {err}")
+
+
+def render_trace_tree(
+    telemetry_dir: str,
+    trace_id: "str | None" = None,
+    limit: int = MAX_TRACE_TREES,
+) -> str:
+    """Causal tree/timeline view of the live traces in a telemetry dir.
+
+    Renders each chain as an indented tree (children under the span that
+    caused them, rows stamped with the shared elapsed clock). With
+    ``trace_id`` only that chain is shown, in full; otherwise incomplete
+    chains are listed first — the ones a post-mortem cares about — then
+    complete ones up to ``limit``.
+    """
+    path = os.path.join(telemetry_dir, TRACES_FILE)
+    if not os.path.isfile(path):
+        raise ConfigurationError(
+            f"no {TRACES_FILE} in {telemetry_dir!r}; run with --telemetry and --trace first"
+        )
+    spans = livetrace.live_spans(RouteTracer.load(path))
+    traces = livetrace.assemble(spans)
+    if not traces:
+        return f"{TRACES_FILE} has no live spans (type={livetrace.LIVE_SPAN_TYPE!r})"
+    lines: "list[str]" = []
+    if trace_id is not None:
+        if trace_id not in traces:
+            raise ConfigurationError(
+                f"trace {trace_id!r} not found; {len(traces)} live traces in {TRACES_FILE}"
+            )
+        _render_tree(trace_id, traces[trace_id], lines)
+        return "\n".join(lines)
+    summary = livetrace.summarize(spans)
+    lines.append(
+        f"Live causal traces: {summary['traces']} chains, "
+        f"{summary['complete_chains']} complete "
+        f"({summary['complete_chain_ratio']:.1%}), "
+        f"{summary['orphan_spans']} orphan spans, terminals "
+        + ", ".join(f"{k}={v}" for k, v in summary["terminals"].items())
+    )
+    incomplete = [t for t in traces if not livetrace.is_complete(t, traces[t])]
+    complete = [t for t in traces if t not in set(incomplete)]
+    shown = (incomplete + complete)[: max(0, int(limit))]
+    for tid in shown:
+        lines.append("")
+        _render_tree(tid, traces[tid], lines)
+    rest = len(traces) - len(shown)
+    if rest > 0:
+        lines.append("")
+        lines.append(f"... {rest} more chains in {TRACES_FILE}")
+    return "\n".join(lines)
 
 
 def render_report(telemetry_dir: str) -> str:
@@ -178,5 +282,18 @@ def render_report(telemetry_dir: str) -> str:
                 or "n/a"
             )
         )
+        live = traces.get("live")
+        if live:
+            lines.append(
+                "Live causal chains: "
+                f"{live['traces']} traces, {live['complete_chains']} complete "
+                f"({live['complete_chain_ratio']:.1%}), "
+                f"{live['orphan_spans']} orphan spans, terminals "
+                + (
+                    ", ".join(f"{k}={v}" for k, v in live.get("terminals", {}).items())
+                    or "n/a"
+                )
+                + f"  (drill down: select-repro trace {telemetry_dir})"
+            )
     _render_traces(telemetry_dir, lines)
     return "\n".join(lines)

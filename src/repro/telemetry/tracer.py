@@ -27,7 +27,17 @@ __all__ = ["RouteTracer", "get_tracer", "set_tracer", "use_tracer"]
 
 
 class RouteTracer:
-    """Append-only store of per-message spans with JSONL serialization."""
+    """Append-only store of per-message spans with JSONL serialization.
+
+    **Truncation policy (keep-oldest):** when ``limit`` is set and the
+    store is full, new spans are *counted and discarded* — the retained
+    prefix is the chronological head of the run, never a sliding window.
+    This keeps early causal chains intact (a live trace missing its root
+    is worthless) at the cost of losing the tail; the loss is visible as
+    :attr:`dropped_spans`, exported to ``report.json`` and as the
+    ``tracer.dropped_spans`` gauge in ``metrics.prom``, so a nonzero
+    value flags that chain ratios cover only the retained prefix.
+    """
 
     def __init__(self, limit: "int | None" = None):
         #: optional cap on retained spans (oldest kept; later spans are

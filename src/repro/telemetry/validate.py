@@ -4,7 +4,10 @@
 in the directory violates the telemetry contract: ``report.json`` must
 carry the v1 schema tag with metrics maps, every ``traces.jsonl`` /
 ``series.jsonl`` line must be a JSON object with the per-type required
-keys, and ``metrics.prom`` must be well-formed Prometheus text format.
+keys, ``type: "live"`` spans must additionally assemble into sound
+causal chains (one root, no orphan parents, exactly one known terminal
+— the ``select-repro/live-trace/v1`` contract), and ``metrics.prom``
+must be well-formed Prometheus text format.
 No external schema library — the container deliberately stays on the
 standard toolchain — so checks are explicit.
 """
@@ -17,6 +20,12 @@ import re
 import sys
 
 from repro.telemetry.export import METRICS_FILE, REPORT_FILE, SERIES_FILE, TRACES_FILE
+from repro.telemetry.livetrace import (
+    LIVE_SPAN_REQUIRED,
+    LIVE_SPAN_TYPE,
+    assemble,
+    chain_errors,
+)
 
 __all__ = ["validate_dir", "main"]
 
@@ -29,6 +38,7 @@ _PROM_LINE = re.compile(
 _SPAN_KEYS = {
     "publish": ("msg", "publisher", "subscribers", "routes"),
     "lookup": ("msg", "src", "dst", "delivered", "path"),
+    LIVE_SPAN_TYPE: LIVE_SPAN_REQUIRED,
 }
 
 
@@ -68,13 +78,16 @@ def _check_report(path: str, errors: list[str]) -> None:
             errors.append(f"{REPORT_FILE}: histogram {name!r} bucket counts != count")
 
 
-def _check_jsonl(path: str, name: str, errors: list[str], required_by_type=None) -> None:
+def _check_jsonl(
+    path: str, name: str, errors: list[str], required_by_type=None
+) -> "list[dict]":
+    objs: "list[dict]" = []
     try:
         with open(path, "r", encoding="utf-8") as fh:
             lines = fh.readlines()
     except OSError as exc:
         errors.append(f"{name}: unreadable ({exc})")
-        return
+        return objs
     for i, line in enumerate(lines, 1):
         line = line.strip()
         if not line:
@@ -96,6 +109,23 @@ def _check_jsonl(path: str, name: str, errors: list[str], required_by_type=None)
             missing = [k for k in required if k not in obj]
             if missing:
                 errors.append(f"{name}:{i}: {kind} span missing keys {missing}")
+                continue
+        objs.append(obj)
+    return objs
+
+
+def _check_live_chains(spans: "list[dict]", errors: list[str]) -> None:
+    """Cross-span causal invariants of the live-trace/v1 subset.
+
+    The per-line check can only see one span at a time; a chain with a
+    missing root, an orphan parent reference, or zero/duplicate
+    terminals is invisible to it. This pass assembles every live trace
+    and reports each violation with its trace id, so a failed CI gate
+    points at the exact pair whose story has a hole.
+    """
+    for trace_id, trace in assemble(spans).items():
+        for err in chain_errors(trace_id, trace):
+            errors.append(f"{TRACES_FILE}: {err}")
 
 
 def _check_series(path: str, errors: list[str]) -> None:
@@ -147,7 +177,8 @@ def validate_dir(telemetry_dir: str) -> list[str]:
         _check_prom(prom_path, errors)
     traces_path = os.path.join(telemetry_dir, TRACES_FILE)
     if os.path.isfile(traces_path):
-        _check_jsonl(traces_path, TRACES_FILE, errors, required_by_type=_SPAN_KEYS)
+        spans = _check_jsonl(traces_path, TRACES_FILE, errors, required_by_type=_SPAN_KEYS)
+        _check_live_chains(spans, errors)
     series_path = os.path.join(telemetry_dir, SERIES_FILE)
     if os.path.isfile(series_path):
         _check_series(series_path, errors)

@@ -65,6 +65,32 @@ class TestRegistry:
             Histogram("h", buckets=(1.0, 1.0))
 
 
+class TestLabeledInstruments:
+    def test_labels_make_distinct_instruments(self):
+        reg = MetricsRegistry()
+        a = reg.counter("live.node_delivered", labels={"node": "0"})
+        b = reg.counter("live.node_delivered", labels={"node": "1"})
+        plain = reg.counter("live.node_delivered")
+        assert a is not b and a is not plain
+        a.inc(3)
+        assert b.value == 0 and plain.value == 0
+        assert a.name == "live.node_delivered" and a.labels == {"node": "0"}
+
+    def test_same_labels_share_instrument_regardless_of_order(self):
+        reg = MetricsRegistry()
+        a = reg.gauge("g", labels={"x": "1", "y": "2"})
+        b = reg.gauge("g", labels={"y": "2", "x": "1"})
+        assert a is b
+        assert 'g{x=1,y=2}' in reg.gauges()
+
+    def test_labeled_histogram_and_type_collision(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0), labels={"node": "3"})
+        # Same composite key with a different type is still rejected.
+        with pytest.raises(ConfigurationError):
+            reg.counter("h", labels={"node": "3"})
+
+
 class TestHistogramDeterminism:
     def test_fixed_edges_order_independent(self):
         values = [0.5, 1.0, 1.5, 3.0, 9.0, 100.0, 1000.0]
@@ -239,6 +265,34 @@ class TestExportAndReport:
         assert "# TYPE select_repro_publish_events counter" in text
         assert "# TYPE select_repro_publish_hops histogram" in text
         assert 'select_repro_publish_hops_bucket{le="+Inf"}' in text
+
+    def test_prometheus_labels_and_single_family_header(self, tmp_path):
+        from repro.telemetry.export import prometheus_text
+
+        reg = MetricsRegistry()
+        reg.gauge("live.node_delivered", "per-node", labels={"node": "0"}).set(4)
+        reg.gauge("live.node_delivered", "per-node", labels={"node": "1"}).set(9)
+        reg.histogram("live.trace_hops", (1.0, 2.0), labels={"node": "0"}).observe(1.5)
+        text = prometheus_text(reg)
+        assert 'select_repro_live_node_delivered{node="0"} 4' in text
+        assert 'select_repro_live_node_delivered{node="1"} 9' in text
+        # One HELP/TYPE header per family, not per labeled series.
+        assert text.count("# TYPE select_repro_live_node_delivered gauge") == 1
+        # Instrument labels compose with the bucket's le label.
+        assert 'select_repro_live_trace_hops_bucket{node="0",le="2"} 1' in text
+        assert 'select_repro_live_trace_hops_count{node="0"} 1' in text
+
+    def test_dropped_spans_gauge_exported(self, tmp_path):
+        reg = MetricsRegistry()
+        tracer = RouteTracer(limit=1)
+        tracer.record({"type": "publish", "msg": 0, "publisher": 0, "subscribers": [], "routes": []})
+        tracer.record({"type": "publish", "msg": 1, "publisher": 0, "subscribers": [], "routes": []})
+        out = str(tmp_path / "tel")
+        write_telemetry(out, reg, tracer=tracer)
+        report = json.load(open(f"{out}/report.json", encoding="utf-8"))
+        assert report["metrics"]["gauges"]["tracer.dropped_spans"] == 1
+        prom = open(f"{out}/metrics.prom", encoding="utf-8").read()
+        assert "select_repro_tracer_dropped_spans 1" in prom
 
     def test_schema_validates(self, built_select, tmp_path):
         out, _ = self._populated(built_select, tmp_path)
