@@ -11,15 +11,22 @@ Establishes the repo's perf baseline trajectory: each run emits a
   re-materializes every link set from scratch per hop — the pre-cache
   behaviour — so the speedup is recorded in the same file it is
   claimed against,
-* a full-network ``strength_vector`` sweep (candidates/sec).
+* a full-network ``strength_vector`` sweep (candidates/sec),
+* an optional ``scales[]`` curve (``--scales``): columnar-core build
+  time at each requested network size, with the smallest scale also
+  built on the object core and every sampled route asserted identical
+  across the two cores before any number is reported.
 
 The harness asserts that cached and legacy routing produce identical
 paths on every measured route before it reports any throughput — the
-cache must be a pure performance layer.
+cache must be a pure performance layer. The same holds for the
+columnar core: it is a storage/vectorization layer, not a behaviour
+change, and the ``scales[]`` parity assertion enforces that.
 
 Run::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py --num-nodes 2000
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --scales 2000,20000,100000
     PYTHONPATH=src python benchmarks/bench_hotpath.py --validate BENCH_hotpath.json
 """
 
@@ -171,6 +178,61 @@ def run_bench(num_nodes: int, routes: int, seed: int, dataset: str, max_rounds: 
     }
 
 
+def run_scale(
+    num_nodes: int,
+    seed: int,
+    dataset: str,
+    max_rounds: int,
+    parity_routes: int = 0,
+) -> dict:
+    """Build the overlay at one scale on the columnar core.
+
+    With ``parity_routes > 0`` the same graph is also built on the
+    object core and that many sampled routes are asserted identical
+    across the two — path-for-path — before the entry is returned.
+    """
+    graph = load_dataset(dataset, num_nodes=num_nodes, seed=seed)
+    overlay = SelectOverlay(
+        graph, config=SelectConfig(max_rounds=max_rounds, columnar=True)
+    )
+    start = time.perf_counter()
+    overlay.build(seed=seed)
+    entry = {
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "build_seconds": time.perf_counter() - start,
+        "gossip_rounds": overlay.iterations,
+    }
+    if parity_routes > 0:
+        obj = SelectOverlay(
+            graph, config=SelectConfig(max_rounds=max_rounds, columnar=False)
+        )
+        start = time.perf_counter()
+        obj.build(seed=seed)
+        entry["object_build_seconds"] = time.perf_counter() - start
+        if not np.array_equal(overlay.ids, obj.ids):
+            raise AssertionError(
+                f"{num_nodes} nodes: columnar identifiers diverged from the "
+                "object core — the columnar layer must not change behaviour"
+            )
+        pairs = _sample_pairs(graph.num_nodes, parity_routes, np.random.default_rng(seed + 1))
+        col_results = GreedyRouter(overlay, lookahead=True).route_many(pairs)
+        obj_results = GreedyRouter(obj, lookahead=True).route_many(pairs)
+        mismatched = sum(
+            1
+            for a, b in zip(col_results, obj_results)
+            if a.path != b.path or a.delivered != b.delivered
+        )
+        if mismatched:
+            raise AssertionError(
+                f"{num_nodes} nodes: columnar routing diverged from the object "
+                f"core on {mismatched}/{len(pairs)} routes"
+            )
+        entry["routing_parity_routes"] = len(pairs)
+        entry["routing_parity"] = True
+    return entry
+
+
 # -- schema validation --------------------------------------------------------
 
 REQUIRED_METRICS = (
@@ -190,6 +252,42 @@ REQUIRED_METRICS = (
 )
 
 REQUIRED_CONFIG = ("dataset", "num_nodes", "num_edges", "routes", "seed", "max_rounds", "k_links")
+
+REQUIRED_SCALE_FIELDS = ("num_nodes", "num_edges", "build_seconds", "gossip_rounds")
+
+
+def _validate_scales(scales, problems: list[str]) -> None:
+    """Check the optional ``scales[]`` block (multi-size build curve)."""
+    if not isinstance(scales, list) or not scales:
+        problems.append("scales must be a non-empty array when present")
+        return
+    last = 0
+    parity_checked = False
+    for idx, entry in enumerate(scales):
+        if not isinstance(entry, dict):
+            problems.append(f"scales[{idx}] is not an object")
+            continue
+        for key in REQUIRED_SCALE_FIELDS:
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"scales[{idx}].{key} missing or not a non-negative number")
+        nodes = entry.get("num_nodes")
+        if isinstance(nodes, (int, float)):
+            if nodes <= last:
+                problems.append("scales[] must be sorted by strictly increasing num_nodes")
+            last = nodes
+        if entry.get("routing_parity"):
+            parity_checked = True
+            routes = entry.get("routing_parity_routes")
+            if not isinstance(routes, int) or routes <= 0:
+                problems.append(
+                    f"scales[{idx}].routing_parity_routes missing or not a positive int"
+                )
+    if not parity_checked:
+        problems.append(
+            "scales[] must include at least one entry with routing_parity: true "
+            "(columnar-vs-object routed-path assertion)"
+        )
 
 
 def validate_report(report: dict) -> list[str]:
@@ -223,6 +321,8 @@ def validate_report(report: dict) -> list[str]:
         for name, entry in timers.items():
             if not isinstance(entry, dict) or "sum_seconds" not in entry or "count" not in entry:
                 problems.append(f"timers[{name!r}] must have sum_seconds and count")
+    if "scales" in report:
+        _validate_scales(report["scales"], problems)
     return problems
 
 
@@ -233,6 +333,19 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--dataset", default="facebook")
     parser.add_argument("--max-rounds", type=int, default=30)
+    parser.add_argument(
+        "--scales",
+        default="",
+        help="comma-separated network sizes for the scales[] build curve "
+        "(e.g. 2000,20000,100000); the smallest also runs the "
+        "columnar-vs-object routed-path parity assertion",
+    )
+    parser.add_argument(
+        "--parity-routes",
+        type=int,
+        default=2000,
+        help="routes asserted identical across cores at the smallest scale",
+    )
     parser.add_argument("--out", default="BENCH_hotpath.json")
     parser.add_argument(
         "--validate",
@@ -253,6 +366,25 @@ def main(argv=None) -> int:
         return 0
 
     report = run_bench(args.num_nodes, args.routes, args.seed, args.dataset, args.max_rounds)
+    if args.scales:
+        sizes = sorted({int(s) for s in args.scales.split(",") if s.strip()})
+        scales = []
+        for i, size in enumerate(sizes):
+            entry = run_scale(
+                size,
+                args.seed,
+                args.dataset,
+                args.max_rounds,
+                parity_routes=args.parity_routes if i == 0 else 0,
+            )
+            scales.append(entry)
+            parity = " [routing parity ok]" if entry.get("routing_parity") else ""
+            print(
+                f"scale {entry['num_nodes']:>7} nodes : "
+                f"{entry['build_seconds']:.3f}s build "
+                f"({entry['gossip_rounds']} rounds){parity}"
+            )
+        report["scales"] = scales
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -40,6 +40,15 @@ class SelectConfig:
         Maximum ring distance between a peer's two anchor friends for the
         midpoint relocation to fire (the cluster guard of Algorithm 2's
         implementation; see :func:`repro.core.reassignment.evaluate_position`).
+    reassign_stride:
+        Relocation rota: peer ``v`` may relocate only in rounds ``r`` with
+        ``(v + r) % stride == 0``. With every peer relocating in the same
+        superstep (stride 1) Algorithm 2 is a synchronous Jacobi iteration
+        that locks clusters into shallow fixed points; staggering lets a
+        peer's anchors settle between its own moves, recovering the
+        clustering depth of a sequential sweep. Stride 2 pairs with the
+        default ``convergence_rounds = 2`` so a convergence window covers
+        both rotas.
     stabilize_after:
         A peer pauses link reassignment after this many consecutive rounds
         without a link change; learning about a previously unseen friend
@@ -72,6 +81,14 @@ class SelectConfig:
     catchup_capacity:
         Store-and-forward: notifications a ring neighbor buffers for a
         down/partitioned subscriber before evicting the oldest.
+    columnar:
+        Execution strategy for the gossip rounds. State is always stored
+        in the shared column block; ``True`` (default) runs partner
+        selection, exchange quantities, and Algorithm 2 as whole-network
+        vectorized kernels in the round's batch phase, ``False`` computes
+        the same values per peer inside the vertex program. Both paths
+        produce identical overlays for the same seed (pinned by the
+        hot-path benchmark's parity check).
     """
 
     k_links: int | None = None
@@ -82,6 +99,7 @@ class SelectConfig:
     convergence_rounds: int = 2
     max_moves: int = 12
     merge_radius: float = 0.05
+    reassign_stride: int = 2
     stabilize_after: int = 3
     max_link_changes: int = 25
     reassign_ids: bool = True
@@ -92,6 +110,7 @@ class SelectConfig:
     invite_spread: float = 1e-6
     successor_list_length: int = 3
     catchup_capacity: int = 64
+    columnar: bool = True
 
     def __post_init__(self):
         if self.k_links is not None and self.k_links < 1:
@@ -125,6 +144,10 @@ class SelectConfig:
         if not (0.0 < self.merge_radius <= 0.5):
             raise ConfigurationError(
                 f"merge_radius must be in (0, 0.5], got {self.merge_radius}"
+            )
+        if self.reassign_stride < 1:
+            raise ConfigurationError(
+                f"reassign_stride must be >= 1, got {self.reassign_stride}"
             )
         if not (0.0 <= self.cma_threshold <= 1.0):
             raise ConfigurationError(

@@ -34,15 +34,20 @@ def exchange(p: PeerState, q: PeerState) -> None:
       friend ``i``,
     * both peers' lookahead sets record the other's current links.
     """
-    mutual = len(p.neighborhood_set & q.neighborhood_set)
+    # Mutual-friend counts are static for a fixed social graph, so a
+    # re-exchange (the common case once gossip warms up) reuses the count
+    # learned the first time instead of re-intersecting the neighborhoods.
+    mutual = p.known_mutual.get(q.node)
+    if mutual is None:
+        mutual = len(p.neighborhood_set & q.neighborhood_set)
     # Cached views: exchanges only read the link sets, and every round
     # runs one per peer, so the fresh-copy allocation was pure overhead.
     q_links = q.table.link_view()
     p_links = p.table.link_view()
     # Passive side (Alg. 4): bitmap of q's links over p's neighborhood (M),
     # and symmetric bitmap of p's links over q's neighborhood (M').
-    bitmap_for_p = p.friendship_bitmap_of(q_links)
-    bitmap_for_q = q.friendship_bitmap_of(p_links)
+    bitmap_for_p = p.codec.encode_int(q_links)
+    bitmap_for_q = q.codec.encode_int(p_links)
     p.learn_exchange(q.node, mutual, bitmap_for_p, q_links)
     q.learn_exchange(p.node, mutual, bitmap_for_q, p_links)
 

@@ -14,6 +14,7 @@ of ``createLinks`` is a pure grouping pass with no hashing.
 
 from __future__ import annotations
 
+import heapq
 from collections import defaultdict
 from typing import Callable
 
@@ -32,6 +33,8 @@ def create_links(
     disconnect: Callable[[int, int], None],
     upload_mbps: "np.ndarray | None" = None,
     hysteresis: int = 2,
+    incoming_sources: "list[set] | None" = None,
+    incoming_count: "np.ndarray | None" = None,
 ) -> bool:
     """Run Algorithm 5 for one peer; True when the link set changed.
 
@@ -44,19 +47,53 @@ def create_links(
     covers at least that many more of the neighborhood. Without it the
     bucket argmax flips whenever gossip refreshes a bitmap and the
     network never quiesces.
+
+    ``incoming_sources`` (optional) exposes the admission ledger behind
+    ``try_connect``. Without a bandwidth model an admission succeeds iff
+    the target has a free incoming slot (or already holds one for us), so
+    the whole reassignment can be *planned* against the ledger — compute
+    the target link set without touching any state, then apply only the
+    net difference. Most rounds net to zero (drop-then-readd churn), so
+    planning turns them into pure reads: no ledger traffic, no routing
+    table dirtying, no link-view rebuilds. ``incoming_count`` (required
+    alongside it for the planned path) is the ledger's per-target
+    occupancy as an array, letting the budget-fill pre-filter run as one
+    vectorized index over the whole candidate set. With a bandwidth
+    model admissions can evict third parties mid-pass, so the original
+    mutating pass runs instead.
     """
     if not peer.known_bitmap:
         return False
-    buckets: dict[int, list[int]] = defaultdict(list)
-    for friend in peer.known_bitmap:
-        if friend != peer.node:
-            buckets[peer.bucket_of(friend)].append(friend)
+    if peer.lsh_family is None:
+        # No family: everything hashes to bucket 0; group locally.
+        buckets: dict = defaultdict(list)
+        for friend in peer.known_bitmap:
+            if friend != peer.node:
+                buckets[peer.bucket_of(friend)].append(friend)
+    else:
+        # The membership index is maintained at learn time; only friends
+        # seen before the LSH family was set still need a bucket.
+        if len(peer.known_bucket) < len(peer.known_bitmap):
+            for friend in peer.known_bitmap:
+                if friend not in peer.known_bucket:
+                    peer.bucket_of(friend)
+        buckets = peer.bucket_members
+
+    if upload_mbps is None and incoming_sources is not None and incoming_count is not None:
+        return _create_links_planned(
+            peer,
+            k_links,
+            try_connect,
+            disconnect,
+            buckets,
+            hysteresis,
+            incoming_count,
+        )
 
     changed = False
     table = peer.table
     coverage = peer.known_coverage
-    for bucket in sorted(buckets):
-        members = buckets[bucket]
+    for _, members in sorted(buckets.items()):
         chosen = picker(members, coverage, upload_mbps)
         chosen = _stability_bias(peer, members, chosen, hysteresis)
         if chosen not in table.long_links:
@@ -67,38 +104,148 @@ def create_links(
                 table.long_links.add(chosen)
                 changed = True
         # Lines 12-16: drop established links that share the bucket.
-        for other in members:
-            if other != chosen and other in table.long_links:
-                table.long_links.discard(other)
-                disconnect(peer.node, other)
-                changed = True
+        # Scanning the <= K established links against the bucket's O(1)
+        # membership dict beats walking the whole bucket.
+        drops = [w for w in table.long_links if w != chosen and w in members]
+        for other in drops:
+            table.long_links.discard(other)
+            disconnect(peer.node, other)
+            changed = True
     if _fill_remaining_budget(peer, k_links, try_connect):
         changed = True
     return changed
 
 
-def _stability_bias(peer: PeerState, members, chosen: int, hysteresis: int) -> int:
+def _create_links_planned(
+    peer: PeerState,
+    k_links: int,
+    try_connect,
+    disconnect,
+    buckets,
+    hysteresis: int,
+    incoming_count: np.ndarray,
+) -> bool:
+    """Algorithm 5 as plan-then-apply; exact replay of the mutating pass.
+
+    Valid only without a bandwidth model, where ``try_connect(p, u)``
+    succeeds iff ``u`` has a free incoming slot or ``p`` already holds
+    one — a pure predicate over the ledger. The pass simulates the
+    mutating loop against a scratch copy of the link set (a link we
+    virtually dropped stays admissible: our slot on it is still charged
+    in the real ledger), then applies only the net difference. Every
+    net add was judged admissible against untouched ledger state and the
+    net drops only free slots, so the applied ``try_connect`` calls
+    cannot be refused and the final ledger/table state is bit-identical
+    to what the mutating pass would leave.
+    """
+    table = peer.table
+    node = peer.node
+    coverage = peer.known_coverage
+    current = table.long_links
+    virtual = set(current)
+    for _, members in sorted(buckets.items()):
+        if len(members) == 1:
+            chosen = next(iter(members))
+        else:
+            chosen = picker(members, coverage, None)
+            if chosen not in virtual:
+                chosen = _stability_bias(peer, members, chosen, hysteresis, virtual)
+        if chosen not in virtual:
+            if len(virtual) >= table.max_long:
+                for w in [w for w in virtual if w != chosen and w in members]:
+                    virtual.discard(w)
+            if len(virtual) < table.max_long and (
+                incoming_count[chosen] < k_links or chosen in current
+            ):
+                virtual.add(chosen)
+        # Iterate whichever of {bucket, link set} is smaller; membership
+        # tests on the other side are O(1) either way.
+        if len(members) <= len(virtual):
+            drops = [w for w in members if w != chosen and w in virtual]
+        else:
+            drops = [w for w in virtual if w != chosen and w in members]
+        for w in drops:
+            virtual.discard(w)
+    need = k_links - len(virtual)
+    if need > 0:
+        # Budget fill, planned: every pre-filtered candidate is
+        # admissible, so the pops of the mutating pass's heap reduce to
+        # the ``need`` smallest keys.
+        kb = peer.known_bitmap
+        cover = 0
+        for w in virtual:
+            bitmap = kb.get(w)
+            if bitmap is not None:
+                cover |= bitmap
+        pos_get = peer.codec.position.get
+        cov_get = coverage.get
+        arr = peer.known_array()
+        cands = arr[incoming_count[arr] < k_links].tolist() if arr.size else []
+        # Links virtually dropped above stay admissible even when the
+        # target reads full: the ledger still charges our slot there.
+        cands += [w for w in current if w not in virtual and incoming_count[w] >= k_links]
+        keys = []
+        append = keys.append
+        for f in cands:
+            if f == node or f in virtual:
+                continue
+            i = pos_get(f)
+            key = ((0x7FFFFFFF - cov_get(f, 0)) << 31) | f
+            if i is not None and (cover >> i) & 1:
+                key |= 1 << 62
+            append(key)
+        for key in heapq.nsmallest(need, keys):
+            virtual.add(key & 0x7FFFFFFF)
+    if virtual == current:
+        return False
+    # Net application: free slots first, then claim the planned ones.
+    for w in [w for w in current if w not in virtual]:
+        current.discard(w)
+        disconnect(node, w)
+    changed = True
+    for w in sorted(w for w in virtual if w not in current):
+        if try_connect(node, w):
+            current.add(w)
+    return changed
+
+
+def _stability_bias(
+    peer: PeerState, members, chosen: int, hysteresis: int, long_links=None
+) -> int:
     """Prefer an established same-bucket link unless clearly beaten."""
-    if chosen in peer.table.long_links or hysteresis <= 0:
-        return chosen
-    established = [m for m in members if m in peer.table.long_links]
-    if not established:
+    if long_links is None:
+        long_links = peer.table.long_links
+    if chosen in long_links or hysteresis <= 0:
         return chosen
     coverage = peer.known_coverage
-    best_existing = max(established, key=lambda f: (coverage.get(f, 0), -f))
+    best_existing = -1
+    best_key = None
+    for m in long_links:
+        if m in members:
+            key = (-coverage.get(m, 0), m)
+            if best_key is None or key < best_key:
+                best_existing, best_key = m, key
+    if best_existing < 0:
+        return chosen
     gain = coverage.get(chosen, 0) - coverage.get(best_existing, 0)
     return chosen if gain >= hysteresis else best_existing
 
 
 def _drop_bucket_redundant(peer: PeerState, members, chosen: int, disconnect) -> None:
     """Free budget by dropping same-bucket links before adding ``chosen``."""
-    for other in members:
-        if other != chosen and other in peer.table.long_links:
-            peer.table.long_links.discard(other)
-            disconnect(peer.node, other)
+    drops = [w for w in peer.table.long_links if w != chosen and w in members]
+    for other in drops:
+        peer.table.long_links.discard(other)
+        disconnect(peer.node, other)
 
 
-def _fill_remaining_budget(peer: PeerState, k_links: int, try_connect) -> bool:
+def _fill_remaining_budget(
+    peer: PeerState,
+    k_links: int,
+    try_connect,
+    incoming_sources: "list[set] | None" = None,
+    incoming_count: "np.ndarray | None" = None,
+) -> bool:
     """Spend leftover link budget on friends not yet covered in <= 2 hops.
 
     Early in construction most friendship bitmaps are near-empty and
@@ -111,21 +258,58 @@ def _fill_remaining_budget(peer: PeerState, k_links: int, try_connect) -> bool:
     table = peer.table
     if len(table.long_links) >= k_links or not peer.known_bitmap:
         return False
-    covered: set[int] = set(table.long_links)
-    for w in table.long_links:
+    # 2-hop cover as one int bitset: OR the long links' friendship bitmaps
+    # and test candidates by bit position instead of materializing the
+    # decoded friend sets (the old per-round decode dominated this pass).
+    long_links = table.long_links
+    cover = 0
+    for w in long_links:
         bitmap = peer.known_bitmap.get(w)
         if bitmap is not None:
-            covered.update(int(x) for x in peer.codec.decode(bitmap))
-    coverage = peer.known_coverage
-    candidates = sorted(
-        (f for f in peer.known_bitmap if f != peer.node and f not in table.long_links),
-        key=lambda f: (f in covered, -coverage.get(f, 0), f),
-    )
+            cover |= bitmap
+    pos_get = peer.codec.position.get
+    cov_get = peer.known_coverage.get
+    node = peer.node
+
+    # Heap instead of a full sort: the remaining budget is usually a
+    # handful of slots, so only the best few candidates are ever popped.
+    # Keys pack (covered, -coverage, id) into one machine int — covered in
+    # the top bit, inverted coverage and the id in 31-bit fields — so the
+    # heap compares plain ints on the per-round hot path.
+    heap = []
+    append = heap.append
+    if incoming_sources is not None and incoming_count is not None:
+        # Vectorized admission pre-filter: keep only targets with a free
+        # incoming slot. A full target we already hold a slot on would
+        # also be admissible, but every successful admission is paired
+        # with a ``long_links.add`` (and every release with a discard),
+        # so such a target is already a long link and skipped below.
+        arr = peer.known_array()
+        candidates = arr[incoming_count[arr] < k_links].tolist() if arr.size else ()
+        incoming_sources = None  # ledger already consulted
+    else:
+        candidates = peer.known_bitmap
+    for f in candidates:
+        if f == node or f in long_links:
+            continue
+        if incoming_sources is not None:
+            # Without evictions, admission is exactly "slot free or
+            # already ours" — skip candidates a ``try_connect`` would
+            # refuse anyway (at steady state most targets sit at the cap,
+            # so this empties the heap instead of draining it).
+            sources = incoming_sources[f]
+            if len(sources) >= k_links and node not in sources:
+                continue
+        i = pos_get(f)
+        key = ((0x7FFFFFFF - cov_get(f, 0)) << 31) | f
+        if i is not None and (cover >> i) & 1:
+            key |= 1 << 62
+        append(key)
+    heapq.heapify(heap)
     changed = False
-    for cand in candidates:
-        if len(table.long_links) >= k_links:
-            break
-        if try_connect(peer.node, cand):
+    while heap and len(table.long_links) < k_links:
+        cand = heapq.heappop(heap) & 0x7FFFFFFF
+        if try_connect(node, cand):
             table.long_links.add(cand)
             changed = True
     return changed

@@ -6,16 +6,26 @@ On top of those, the gossip protocol (Algorithms 3–4) accumulates what the
 peer has *learned* about each friend — mutual-friend counts (for Eq. 2
 strength) and friendship bitmaps (for LSH link selection) — and the
 recovery mechanism tracks each contact's online behaviour.
+
+Scalar round state (identifier, join flag, convergence counters, top-2
+anchors) lives in a shared :class:`~repro.core.columns.PeerColumns` block;
+the attributes here are property views over the peer's slot, so the
+vectorized kernels and the object API always see the same values.
+Friendship bitmaps are arbitrary-precision Python ints (one bit per
+neighborhood position, see :mod:`repro.util.bitset`): at a few words per
+bitmap, ``int.bit_count`` and ``|`` beat numpy's per-call overhead by an
+order of magnitude on the gossip hot path.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.columns import PeerColumns
 from repro.net.availability import OnlineBehavior
 from repro.overlay.base import RoutingTable
 from repro.social.bitmaps import BitmapCodec
-from repro.util.bitset import popcount
+from repro.util.bitset import int_from_words
 
 __all__ = ["PeerState"]
 
@@ -25,7 +35,8 @@ class PeerState:
 
     __slots__ = (
         "node",
-        "identifier",
+        "_cols",
+        "_slot",
         "neighborhood",
         "neighborhood_set",
         "table",
@@ -34,16 +45,12 @@ class PeerState:
         "known_bitmap",
         "lookahead",
         "behavior",
-        "joined",
-        "moves_done",
-        "stable_rounds",
-        "link_change_budget",
         "lsh_family",
         "k_buckets",
-        "known_bucket",
+        "_known_bucket",
+        "bucket_members",
         "known_coverage",
-        "_top2",
-        "last_anchor_pair",
+        "_known_arr",
     )
 
     def __init__(
@@ -53,39 +60,32 @@ class PeerState:
         k_links: int,
         cma_threshold: float = 0.5,
         cma_min_observations: int = 3,
+        table: "RoutingTable | None" = None,
+        columns: "tuple[PeerColumns, int] | None" = None,
     ):
         self.node = node
-        #: ``D_p`` — position on the unit ring (assigned by projection).
-        self.identifier = 0.0
+        if columns is None:
+            self._cols = PeerColumns(1)
+            self._slot = 0
+        else:
+            self._cols, self._slot = columns
         #: ``C_p`` — identifiers of the peers hosting this user's friends.
         self.neighborhood = np.asarray(neighborhood, dtype=np.int64)
         self.neighborhood_set = frozenset(int(v) for v in self.neighborhood)
         #: ``R_p`` — routing table (2 short-range + up to K long-range).
-        self.table = RoutingTable(node, k_links)
+        self.table = table if table is not None else RoutingTable(node, k_links)
         #: bitmap codec anchored to ``C_p`` (bit i == neighborhood[i]).
         self.codec = BitmapCodec(self.neighborhood)
         #: gossip-learned ``|C_p ∩ C_u|`` per friend u.
         self.known_mutual: dict[int, int] = {}
-        #: gossip-learned friendship bitmap per friend u (packed words).
-        self.known_bitmap: dict[int, np.ndarray] = {}
+        #: gossip-learned friendship bitmap per friend u (Python int).
+        self.known_bitmap: dict[int, int] = {}
         #: ``L_p`` — links maintained by each routing-table neighbor.
         self.lookahead: dict[int, frozenset[int]] = {}
         #: CMA availability tracking per contact (recovery, §III-F).
         self.behavior = OnlineBehavior(
             threshold=cma_threshold, min_observations=cma_min_observations
         )
-        #: whether this peer has joined the overlay yet (growth model).
-        self.joined = False
-        #: identifier relocations performed so far (bounded by config).
-        self.moves_done = 0
-        #: consecutive rounds without a link change; link reassignment
-        #: pauses once this passes the config's stabilize_after (and
-        #: resumes when a new friend is learned through gossip).
-        self.stable_rounds = 0
-        #: remaining rounds in which this peer may change links; set by
-        #: the overlay from config. Guarantees quiescence even for peers
-        #: locked in mutual-feedback oscillations.
-        self.link_change_budget = 2**31
         #: LSH family anchored to this peer's neighborhood (set by the
         #: overlay before gossip starts; None = compute buckets on demand).
         self.lsh_family = None
@@ -94,18 +94,124 @@ class PeerState:
         #: cached LSH bucket per learned friend bitmap (refreshed at learn
         #: time — bitmaps only change when re-learned, so hashing them
         #: every round would be pure waste).
-        self.known_bucket: dict[int, int] = {}
+        self._known_bucket: dict[int, int] = {}
+        #: bucket -> {friend: None} membership, maintained incrementally as
+        #: buckets are (re)assigned so Algorithm 5 reads its grouping
+        #: instead of rebuilding it from ``known_bitmap`` every round. A
+        #: dict (not a set) keeps iteration in learn order, which a
+        #: snapshot restore reproduces exactly.
+        self.bucket_members: dict[int, dict[int, None]] = {}
         #: cached popcount (neighborhood coverage) per learned bitmap.
         self.known_coverage: dict[int, int] = {}
-        #: incrementally maintained two strongest known friends. Mutual
-        #: counts are static for a fixed social graph, so the top-2 never
-        #: needs re-ranking of previously seen friends.
-        self._top2: list[int] = []
-        #: the anchor pair the peer last relocated for. A peer moves at
-        #: most once per distinct anchor pair: re-moving because the
-        #: anchors themselves drifted is the chase dynamic that contracts
-        #: the whole network onto one point.
-        self.last_anchor_pair: "tuple | None" = None
+        #: cached int64 array of ``known_bitmap``'s keys (None = rebuild);
+        #: invalidated when the key set changes, not when bitmaps refresh.
+        self._known_arr: "np.ndarray | None" = None
+        if columns is None:
+            # A private column block starts with the overlay defaults the
+            # shared block is initialised with; nothing to write.
+            self._cols.link_change_budget[0] = 2**31
+
+    # -- column views ---------------------------------------------------------
+
+    @property
+    def identifier(self) -> float:
+        """``D_p`` — position on the unit ring (assigned by projection)."""
+        return float(self._cols.identifier[self._slot])
+
+    @identifier.setter
+    def identifier(self, value: float) -> None:
+        self._cols.identifier[self._slot] = value
+
+    @property
+    def joined(self) -> bool:
+        """Whether this peer has joined the overlay yet (growth model)."""
+        return bool(self._cols.joined[self._slot])
+
+    @joined.setter
+    def joined(self, value: bool) -> None:
+        self._cols.joined[self._slot] = value
+
+    @property
+    def moves_done(self) -> int:
+        """Identifier relocations performed so far (bounded by config)."""
+        return int(self._cols.moves_done[self._slot])
+
+    @moves_done.setter
+    def moves_done(self, value: int) -> None:
+        self._cols.moves_done[self._slot] = value
+
+    @property
+    def stable_rounds(self) -> int:
+        """Consecutive rounds without a link change; link reassignment
+        pauses once this passes the config's stabilize_after (and resumes
+        when a new friend is learned through gossip)."""
+        return int(self._cols.stable_rounds[self._slot])
+
+    @stable_rounds.setter
+    def stable_rounds(self, value: int) -> None:
+        self._cols.stable_rounds[self._slot] = value
+
+    @property
+    def link_change_budget(self) -> int:
+        """Remaining rounds in which this peer may change links; set by
+        the overlay from config. Guarantees quiescence even for peers
+        locked in mutual-feedback oscillations."""
+        return int(self._cols.link_change_budget[self._slot])
+
+    @link_change_budget.setter
+    def link_change_budget(self, value: int) -> None:
+        self._cols.link_change_budget[self._slot] = value
+
+    @property
+    def _top2(self) -> list[int]:
+        """Incrementally maintained two strongest known friends. Mutual
+        counts are static for a fixed social graph, so the top-2 never
+        needs re-ranking of previously seen friends."""
+        row = self._cols.top2[self._slot]
+        out = []
+        if row[0] >= 0:
+            out.append(int(row[0]))
+            if row[1] >= 0:
+                out.append(int(row[1]))
+        return out
+
+    @_top2.setter
+    def _top2(self, value) -> None:
+        row = self._cols.top2[self._slot]
+        row[0] = value[0] if len(value) > 0 else -1
+        row[1] = value[1] if len(value) > 1 else -1
+
+    @property
+    def last_anchor_pair(self) -> "tuple | None":
+        """The anchor pair the peer last relocated for. Together with
+        ``last_anchor_target`` this gates re-relocation: the same pair is
+        only re-evaluated after its midpoint drifts beyond the movement
+        tolerance (the per-peer move budget bounds the chase dynamic)."""
+        row = self._cols.anchor_pair[self._slot]
+        if row[0] < 0:
+            return None
+        if row[1] < 0:
+            return (int(row[0]),)
+        return (int(row[0]), int(row[1]))
+
+    @last_anchor_pair.setter
+    def last_anchor_pair(self, value: "tuple | None") -> None:
+        row = self._cols.anchor_pair[self._slot]
+        if value is None:
+            row[0] = -1
+            row[1] = -1
+        else:
+            row[0] = value[0]
+            row[1] = value[1] if len(value) > 1 else -1
+
+    @property
+    def last_anchor_target(self) -> float:
+        """Midpoint the peer last relocated to (NaN before any move)."""
+        return float(self._cols.anchor_target[self._slot])
+
+    @last_anchor_target.setter
+    def last_anchor_target(self, value: float) -> None:
+        self._cols.anchor_target[self._slot] = value
 
     # -- strength (Eq. 2) from gossip-learned mutual counts ------------------
 
@@ -129,19 +235,37 @@ class PeerState:
 
     # -- knowledge updates -----------------------------------------------------
 
-    def learn_exchange(self, friend: int, mutual: int, bitmap: np.ndarray, friend_links) -> None:
-        """Fold in the result of one gossip exchange with ``friend``."""
+    def learn_exchange(self, friend: int, mutual: int, bitmap, friend_links) -> None:
+        """Fold in the result of one gossip exchange with ``friend``.
+
+        ``bitmap`` may be an int bitset (hot path) or a packed word array
+        (tests, older callers) — arrays are normalized to ints on entry.
+        """
+        if not isinstance(bitmap, int):
+            bitmap = int_from_words(bitmap)
         is_new = friend not in self.known_mutual
         self.known_mutual[friend] = int(mutual)
         if is_new:
             # New information about an unseen friend re-opens link selection.
             self.stable_rounds = 0
             self._insert_top2(friend)
-        self.known_bitmap[friend] = bitmap
-        self.known_coverage[friend] = popcount(bitmap)
-        if self.lsh_family is not None:
-            self.known_bucket[friend] = self.lsh_family.bucket(bitmap, self.k_buckets)
-        self.lookahead[friend] = frozenset(int(w) for w in friend_links)
+        prev = self.known_bitmap.get(friend)
+        if prev != bitmap:
+            # Bitmap actually changed (or first sighting): refresh the
+            # derived caches. Re-gossiped unchanged bitmaps — the common
+            # case once the network settles — skip the LSH re-hash.
+            if prev is None:
+                self._known_arr = None
+            self.known_bitmap[friend] = bitmap
+            self.known_coverage[friend] = bitmap.bit_count()
+            if self.lsh_family is not None:
+                self._set_bucket(friend, self.lsh_family.bucket(bitmap, self.k_buckets))
+        if type(friend_links) is frozenset:
+            # Cached link views are immutable snapshots; store the
+            # reference instead of copying element-by-element.
+            self.lookahead[friend] = friend_links
+        else:
+            self.lookahead[friend] = frozenset(int(w) for w in friend_links)
 
     def _insert_top2(self, friend: int) -> None:
         """Maintain the two strongest known friends incrementally.
@@ -155,21 +279,74 @@ class PeerState:
         )
         self._top2 = ranked[:2]
 
+    @property
+    def known_bucket(self) -> dict:
+        return self._known_bucket
+
+    @known_bucket.setter
+    def known_bucket(self, mapping) -> None:
+        # Wholesale assignment (snapshot restore): rebuild the membership
+        # index from the assigned buckets in their dict order.
+        self._known_bucket = dict(mapping)
+        members: dict[int, dict[int, None]] = {}
+        for friend, bucket in self._known_bucket.items():
+            if friend != self.node:
+                members.setdefault(bucket, {})[friend] = None
+        self.bucket_members = members
+
+    def _set_bucket(self, friend: int, bucket: int) -> None:
+        """Record a bucket assignment, keeping the membership index in sync."""
+        old = self._known_bucket.get(friend)
+        if old == bucket:
+            return
+        if old is not None:
+            members = self.bucket_members.get(old)
+            if members is not None:
+                members.pop(friend, None)
+                if not members:
+                    del self.bucket_members[old]
+        self._known_bucket[friend] = bucket
+        if friend != self.node:
+            self.bucket_members.setdefault(bucket, {})[friend] = None
+
     def bucket_of(self, friend: int) -> int:
         """Cached LSH bucket of a learned friend (0 when no family set)."""
-        bucket = self.known_bucket.get(friend)
+        bucket = self._known_bucket.get(friend)
         if bucket is not None:
             return bucket
         if self.lsh_family is None:
             return 0
         bucket = self.lsh_family.bucket(self.known_bitmap[friend], self.k_buckets)
-        self.known_bucket[friend] = bucket
+        self._set_bucket(friend, bucket)
         return bucket
+
+    def known_array(self) -> np.ndarray:
+        """Cached int64 array of ``known_bitmap``'s keys (insertion order).
+
+        Lets Algorithm 5's budget fill test the whole candidate set
+        against the admission ledger in one vectorized index instead of a
+        Python-level scan per peer per round. Callers must treat the
+        array as immutable (it is shared between calls).
+        """
+        arr = self._known_arr
+        if arr is None:
+            kb = self.known_bitmap
+            arr = np.fromiter(kb, dtype=np.int64, count=len(kb))
+            self._known_arr = arr
+        return arr
 
     def forget_peer(self, peer: int) -> None:
         """Drop all knowledge about a departed/replaced contact."""
+        if peer in self.known_bitmap:
+            self._known_arr = None
         self.known_bitmap.pop(peer, None)
-        self.known_bucket.pop(peer, None)
+        bucket = self._known_bucket.pop(peer, None)
+        if bucket is not None:
+            members = self.bucket_members.get(bucket)
+            if members is not None:
+                members.pop(peer, None)
+                if not members:
+                    del self.bucket_members[bucket]
         self.known_coverage.pop(peer, None)
         self.lookahead.pop(peer, None)
         self.behavior.forget(peer)

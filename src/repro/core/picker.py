@@ -18,6 +18,10 @@ import numpy as np
 
 __all__ = ["sort_candidates", "picker"]
 
+#: 31-bit field ceiling for packed comparison keys (node ids and coverage
+#: counts are both far below 2**31).
+_MAXC = (1 << 31) - 1
+
 
 def sort_candidates(
     candidates: Sequence[int],
@@ -42,10 +46,32 @@ def picker(
     if not candidates:
         raise ValueError("picker called on an empty bucket")
     if len(candidates) == 1:
-        return candidates[0]
-    ranked = sort_candidates(candidates, coverage, upload_mbps)
-    if upload_mbps is not None:
-        first, second = ranked[0], ranked[1]
-        if float(upload_mbps[first]) < float(upload_mbps[second]):
-            return second
-    return ranked[0]
+        return next(iter(candidates))
+    # Two-best scan under sortPeers' exact key: buckets are visited every
+    # round, so the full sort is pure overhead beyond the leading pair.
+    first = second = -1
+    if upload_mbps is None:
+        # Coverage desc, id asc, packed into one machine int (both fields
+        # fit 31 bits): plain-int comparisons beat tuple keys on the
+        # per-round hot path.
+        first_key = second_key = None
+        get = coverage.get
+        for peer in candidates:
+            key = ((_MAXC - get(peer, 0)) << 31) | peer
+            if first_key is None or key < first_key:
+                second, second_key = first, first_key
+                first, first_key = peer, key
+            elif second_key is None or key < second_key:
+                second, second_key = peer, key
+        return first
+    first_key = second_key = None
+    for peer in candidates:
+        key = (-coverage.get(peer, 0), -float(upload_mbps[peer]), peer)
+        if first_key is None or key < first_key:
+            second, second_key = first, first_key
+            first, first_key = peer, key
+        elif second_key is None or key < second_key:
+            second, second_key = peer, key
+    if float(upload_mbps[first]) < float(upload_mbps[second]):
+        return second
+    return first

@@ -39,9 +39,15 @@ def evaluate_position(
       are within ``merge_radius`` of each other, i.e. when the midpoint is
       inside a genuine social cluster rather than in the no-man's land
       between two distant regions;
-    * **once-per-anchor-pair** — a peer relocates at most once for a given
-      anchor pair; re-moving because the anchors themselves drifted is the
-      chase dynamic that collapses dense networks;
+    * **stale-target gate** — a peer re-evaluates a previously used anchor
+      pair only after the pair's midpoint has drifted beyond half the
+      merge radius since its last move. (A strict once-per-anchor-pair
+      rule froze clusters half-formed: once gossip has spread, every peer
+      locks onto its final strongest pair within a round or two, moves
+      once, and then ignores its anchors converging further. The drift
+      threshold admits only macroscopic anchor movement — micro-drift
+      inside an already-tight cluster stays blocked, so the gate cannot
+      feed the chase dynamic that contracts dense networks onto a point.)
     * **improvement gate** — relocate only when the move shrinks the worst
       anchor distance by more than ``tolerance``, so every move is
       strictly productive.
@@ -50,8 +56,6 @@ def evaluate_position(
     if not top:
         return peer.identifier
     pair = tuple(sorted(top))
-    if pair == peer.last_anchor_pair:
-        return peer.identifier
     anchors = [float(ids[f]) for f in top]
     if len(anchors) == 1:
         # Only a degree-1 user trusts a single anchor; for everyone else
@@ -65,10 +69,16 @@ def evaluate_position(
         return peer.identifier
     else:
         candidate = ring_midpoint(anchors[0], anchors[1])
+    reopen = max(tolerance, merge_radius / 2.0)
+    if pair == peer.last_anchor_pair and not (
+        ring_distance(candidate, peer.last_anchor_target) > reopen
+    ):
+        return peer.identifier
     current_obj = max(ring_distance(peer.identifier, a) for a in anchors)
     candidate_obj = max(ring_distance(candidate, a) for a in anchors)
     if candidate_obj + tolerance < current_obj:
         peer.last_anchor_pair = pair
+        peer.last_anchor_target = float(candidate)
         return float(candidate)
     return peer.identifier
 

@@ -143,13 +143,23 @@ class RecoveryManager:
             self._m_reprieves.inc()
             self._m_kept.inc()
             return
-        candidate = self._same_bucket_candidate(peer, v, dead)
-        if candidate is None:
-            candidate = self._most_similar_candidate(peer, v, dead)
-        if candidate is None or not ov._try_connect_recovery(v, candidate):
-            self.failed_replacements += 1
-            self._m_failed.inc()
-            return
+        struck: set[int] = set()
+        while True:
+            candidate = self._same_bucket_candidate(peer, v, dead, struck)
+            if candidate is None:
+                candidate = self._most_similar_candidate(peer, v, dead, struck)
+            if candidate is None:
+                self.failed_replacements += 1
+                self._m_failed.inc()
+                return
+            if ov._try_connect_recovery(v, candidate):
+                break
+            # Admission refused — the candidate's incoming slots are full.
+            # Strike it and fall through to the next-best candidate rather
+            # than abandoning the whole tick: at steady state most peers
+            # run at the cap, so the first choice being full is the common
+            # case, not the exception.
+            struck.add(candidate)
         if self.pings.truth(dead):
             self.false_evictions += 1
             self._m_false_evictions.inc()
@@ -161,7 +171,9 @@ class RecoveryManager:
         self.replacements += 1
         self._m_replacements.inc()
 
-    def _same_bucket_candidate(self, peer, v: int, dead: int) -> "int | None":
+    def _same_bucket_candidate(
+        self, peer, v: int, dead: int, struck: "set[int] | None" = None
+    ) -> "int | None":
         """A live, unlinked known friend sharing the dead peer's LSH bucket."""
         if dead not in peer.known_bitmap:
             return None
@@ -170,18 +182,24 @@ class RecoveryManager:
         for friend in peer.known_bitmap:
             if friend == dead or friend in peer.table.long_links:
                 continue
+            if struck and friend in struck:
+                continue
             if peer.bucket_of(friend) == dead_bucket and self.pings.check(v, friend):
                 if best is None or friend < best:
                     best = friend
         return best
 
-    def _most_similar_candidate(self, peer, v: int, dead: int) -> "int | None":
+    def _most_similar_candidate(
+        self, peer, v: int, dead: int, struck: "set[int] | None" = None
+    ) -> "int | None":
         """Fallback: live known friend with the closest bitmap (Hamming)."""
         dead_bitmap = peer.known_bitmap.get(dead)
         best = None
         best_dist = None
         for friend, bitmap in peer.known_bitmap.items():
             if friend == dead or friend in peer.table.long_links:
+                continue
+            if struck and friend in struck:
                 continue
             if not self.pings.check(v, friend):
                 continue

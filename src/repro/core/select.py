@@ -8,33 +8,48 @@ Construction pipeline:
 2. **Bootstrap links** — at join time a peer immediately connects to its
    inviter and a few already-joined friends (this is why SELECT needs far
    fewer iterations than Vitis/OMen, Figure 5's discussion).
-3. **Gossip rounds** — a vertex-centric superstep per round: every peer
-   exchanges with a random social friend (Algs. 3–4), re-evaluates its
-   identifier (Alg. 2) and re-selects its long-range links via LSH
-   (Algs. 5–6). Rounds run until quiescence; the count is the Figure 5
-   metric.
-4. **Ring maintenance** — successor/predecessor links are refreshed from
-   the (re-assigned) identifiers after every round.
+3. **Gossip rounds** — one superstep per round, in two phases. The batch
+   phase (``begin_round``) runs the whole network's gossip partner draws,
+   exchange quantities (Algs. 3–4), and identifier re-evaluation (Alg. 2);
+   with ``config.columnar`` these are vectorized kernels over the shared
+   column block (:mod:`repro.core.vectorized`), otherwise the same values
+   are computed per peer. The vertex phase (``compute``) then runs link
+   selection (Algs. 5–6) per peer — its cross-peer admission effects
+   (the K-incoming cap) are inherently sequential.
+4. **Round barrier** — pending identifiers are deduplicated and published,
+   deferred bandwidth evictions applied, and the ring refreshed, all as
+   array operations; convergence is judged on the round's movement/churn.
+
+Per-peer round state lives in a :class:`~repro.core.columns.PeerColumns`
+block shared with the kernels; :class:`~repro.core.peer.PeerState` objects
+are views over their slot, so both execution strategies mutate the same
+storage and produce identical overlays for the same seed.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.core.columns import PeerColumns
 from repro.core.config import SelectConfig
 from repro.core.gossip import exchange, select_gossip_partner
 from repro.core.links import create_links, random_links
 from repro.core.peer import PeerState
 from repro.core.projection import assign_initial_ids
-from repro.core.reassignment import apply_reassignment, evaluate_position
+from repro.core.reassignment import evaluate_position
+from repro.core.vectorized import (
+    ExchangeKernel,
+    dedup_ids,
+    draw_partners,
+    evaluate_positions,
+)
 from repro.graphs.graph import SocialGraph
-from repro.idspace.space import normalize as normalize_id
 from repro.idspace.space import ring_distance
 from repro.lsh.bitsampling import BitSamplingLsh
 from repro.net.bandwidth import BandwidthModel
 from repro.net.growth import GrowthModel, JoinEvent
 from repro.overlay.base import OverlayNetwork
-from repro.overlay.ring import ring_links, successor_lists
+from repro.overlay.ring import RingIndex
 from repro.sim.engine import SuperstepEngine, VertexContext
 from repro.sim.trace import TraceRecorder
 from repro.util.rng import as_generator
@@ -43,11 +58,19 @@ __all__ = ["SelectOverlay"]
 
 
 class _GossipProgram:
-    """Vertex program running one SELECT round for one peer."""
+    """Vertex program running one SELECT round.
+
+    ``begin_round`` is the whole-network batch phase (exchanges and
+    identifier proposals); ``compute`` keeps only the per-peer link
+    reassignment whose admission side effects must apply in vertex order.
+    """
 
     def __init__(self, overlay: "SelectOverlay", rng: np.random.Generator):
         self.overlay = overlay
         self.rng = rng
+
+    def begin_round(self, engine: SuperstepEngine) -> None:
+        self.overlay._begin_round(self.rng)
 
     def compute(self, ctx: VertexContext, vertex: int, messages: list) -> None:
         ov = self.overlay
@@ -56,37 +79,37 @@ class _GossipProgram:
             ctx.vote_to_halt()
             return
         cfg = ov.config
-        # Active thread (Alg. 3): gossip with random social friends.
-        for _ in range(cfg.exchanges_per_round):
-            partner = select_gossip_partner(peer, ov.joined, self.rng)
-            if partner is not None:
-                exchange(peer, ov.peers[partner])
-        # Alg. 2: propose a new identifier (applied at the round barrier).
-        if cfg.reassign_ids and peer.moves_done < cfg.max_moves:
-            ov.pending_ids[vertex] = evaluate_position(
-                peer,
-                ov.ids,
-                tolerance=cfg.movement_tolerance,
-                merge_radius=cfg.merge_radius,
-            )
-        else:
-            ov.pending_ids[vertex] = peer.identifier
         # Algs. 5-6: link reassignment. A peer counts as changed only when
         # its link set actually differs from the round's start (drop+re-add
-        # of the same link is a no-op, not churn).
-        before = set(peer.table.long_links)
+        # of the same link is a no-op, not churn). The planned/random paths
+        # report exactly that, so only the bandwidth path (whose mutating
+        # pass can drop and re-add) needs the before/after comparison.
+        changed = False
         if peer.stable_rounds < cfg.stabilize_after and peer.link_change_budget > 0:
-            if cfg.use_lsh:
+            if not cfg.use_lsh:
+                changed = random_links(peer, ov.k_links, ov._try_connect, self.rng)
+            elif ov.upload_mbps is None:
+                changed = create_links(
+                    peer,
+                    ov.k_links,
+                    ov._try_connect,
+                    ov._disconnect,
+                    incoming_sources=ov._incoming_sources,
+                    incoming_count=ov.incoming_count,
+                )
+            else:
+                before = set(peer.table.long_links)
                 create_links(
                     peer,
                     ov.k_links,
                     ov._try_connect,
                     ov._disconnect,
                     ov.upload_mbps,
+                    incoming_sources=ov._incoming_sources,
+                    incoming_count=ov.incoming_count,
                 )
-            else:
-                random_links(peer, ov.k_links, ov._try_connect, self.rng)
-        if peer.table.long_links != before:
+                changed = peer.table.long_links != before
+        if changed:
             peer.stable_rounds = 0
             peer.link_change_budget -= 1
             ov.round_link_changes += 1
@@ -112,6 +135,9 @@ class SelectOverlay(OverlayNetwork):
         self.bandwidth = bandwidth
         self.upload_mbps = bandwidth.upload_mbps if bandwidth is not None else None
         n = graph.num_nodes
+        #: shared per-peer scalar state; ``identifier`` aliases ``self.ids``
+        #: so the kernels and the object API mutate the same storage.
+        self.columns = PeerColumns(n, identifier=self.ids)
         self.peers = [
             PeerState(
                 v,
@@ -119,13 +145,12 @@ class SelectOverlay(OverlayNetwork):
                 self.k_links,
                 cma_threshold=self.config.cma_threshold,
                 cma_min_observations=self.config.cma_min_observations,
+                table=self.tables[v],
+                columns=(self.columns, v),
             )
             for v in range(n)
         ]
-        # Peers share each other's routing tables through these states, so
-        # tables must alias the base-class list.
-        self.tables = [p.table for p in self.peers]
-        self.joined = np.zeros(n, dtype=bool)
+        self.joined = self.columns.joined
         self.pending_ids = np.zeros(n, dtype=np.float64)
         self.round_link_changes = 0
         self._quiet_rounds = 0
@@ -134,6 +159,25 @@ class SelectOverlay(OverlayNetwork):
         self._lsh_seed = 0
         self.trace = TraceRecorder()
         self.join_events: list[JoinEvent] = []
+        # CSR of the social neighborhoods in each peer's own candidate
+        # order (what the per-peer partner draw indexes into).
+        self._degs = np.fromiter(
+            (len(p.neighborhood) for p in self.peers), dtype=np.int64, count=n
+        )
+        self._nbr_indptr = np.concatenate(([0], np.cumsum(self._degs)))
+        self._nbr_indices = (
+            np.concatenate([p.neighborhood for p in self.peers])
+            if n and self._nbr_indptr[-1]
+            else np.zeros(0, dtype=np.int64)
+        )
+        self._xkernel = ExchangeKernel(self._nbr_indptr, self._nbr_indices)
+        self._ring_index = RingIndex(self.ids)
+        # Bandwidth evictions found mid-superstep are applied at the round
+        # barrier while the engine runs (True), immediately otherwise.
+        self._defer_evictions = False
+        self._eviction_events: list[tuple[int, int]] = []
+        # Round counter driving the relocation rota (reassign_stride).
+        self._round_no = 0
 
     # -- construction ----------------------------------------------------------
 
@@ -146,8 +190,13 @@ class SelectOverlay(OverlayNetwork):
         self._refresh_ring()
         program = _GossipProgram(self, rng)
         engine = SuperstepEngine(self.graph.num_nodes, program)
-        engine.run(self.config.max_rounds, stop_when=self._end_of_round)
+        self._defer_evictions = True
+        try:
+            engine.run(self.config.max_rounds, stop_when=self._end_of_round)
+        finally:
+            self._defer_evictions = False
         self.iterations = engine.supersteps_run
+        self._materialize_successors()
         self._mark_built()
         return self
 
@@ -161,20 +210,20 @@ class SelectOverlay(OverlayNetwork):
             seed=rng,
         )
         self.join_events = growth.join_order()
-        self.ids = assign_initial_ids(
+        # In place: self.ids is the columns' identifier storage, shared
+        # with every PeerState view.
+        self.ids[:] = assign_initial_ids(
             n,
             self.join_events,
             spread=self.config.invite_spread,
             seed=rng,
         )
+        self.columns.joined[:] = True
+        self.columns.link_change_budget[:] = self.config.max_link_changes
         for peer in self.peers:
-            peer.identifier = float(self.ids[peer.node])
-            peer.joined = True
-            peer.link_change_budget = self.config.max_link_changes
             peer.lsh_family = self.lsh_family_for(peer.node)
             peer.k_buckets = self.k_links
-        self.joined[:] = True
-        self.pending_ids = self.ids.copy()
+        self.pending_ids[:] = self.ids
 
     def _bootstrap(self, rng: np.random.Generator) -> None:
         """Immediate links to already-joined social friends at join time."""
@@ -198,32 +247,151 @@ class SelectOverlay(OverlayNetwork):
             joined_so_far[event.user] = True
 
     def _refresh_ring(self) -> None:
-        """Recompute short-range successor/predecessor links from ids."""
-        pairs = ring_links(self.ids)
-        lists = successor_lists(self.ids, self.config.successor_list_length)
-        for v, (pred, succ) in enumerate(pairs):
-            self.tables[v].predecessor = pred
-            self.tables[v].successor = succ
-            self.tables[v].successors = lists[v]
+        """Recompute short-range links from ids: two column stores + epoch bump."""
+        self._ring_index.invalidate()
+        pred, succ = self._ring_index.pred_succ()
+        self.ring_pred[:] = pred
+        self.ring_succ[:] = succ
+        # Lazily invalidates every table's cached link view.
+        self._ring_epoch[0] += 1
+
+    def _materialize_successors(self) -> None:
+        """Populate the per-table successor backup lists from the final ring.
+
+        Nothing reads ``table.successors`` during construction (they are
+        repair state for routing/stabilization), so the lists are written
+        once from the sorted index instead of per round.
+        """
+        lists = self._ring_index.successor_matrix(self.config.successor_list_length).tolist()
+        for v, table in enumerate(self.tables):
+            table.successors = lists[v]
+
+    # -- round phases -----------------------------------------------------------
+
+    def _begin_round(self, rng: np.random.Generator) -> None:
+        """Batch phase: gossip exchanges and Alg. 2 identifier proposals."""
+        if self.config.columnar:
+            self._begin_round_columnar(rng)
+        else:
+            self._begin_round_object(rng)
+        self._round_no += 1
+
+    def _on_rota(self, v: int) -> bool:
+        """Whether peer ``v`` may relocate this round (reassign_stride)."""
+        return (v + self._round_no) % self.config.reassign_stride == 0
+
+    def _begin_round_object(self, rng: np.random.Generator) -> None:
+        """Reference strategy: the same phase computed peer by peer."""
+        cfg = self.config
+        peers = self.peers
+        joined = self.joined
+        for peer in peers:
+            if not peer.joined:
+                continue
+            # Active thread (Alg. 3): gossip with random social friends.
+            for _ in range(cfg.exchanges_per_round):
+                partner = select_gossip_partner(peer, joined, rng)
+                if partner is not None:
+                    exchange(peer, peers[partner])
+        for v, peer in enumerate(peers):
+            if not peer.joined:
+                self.pending_ids[v] = self.ids[v]
+            elif (
+                cfg.reassign_ids
+                and peer.moves_done < cfg.max_moves
+                and self._on_rota(v)
+            ):
+                self.pending_ids[v] = evaluate_position(
+                    peer,
+                    self.ids,
+                    tolerance=cfg.movement_tolerance,
+                    merge_radius=cfg.merge_radius,
+                )
+            else:
+                self.pending_ids[v] = peer.identifier
+
+    def _begin_round_columnar(self, rng: np.random.Generator) -> None:
+        """Vectorized strategy: one kernel call per quantity, whole network."""
+        cfg = self.config
+        n = self.graph.num_nodes
+        actives, partners = draw_partners(
+            self._nbr_indptr,
+            self._nbr_indices,
+            self.joined,
+            rng,
+            cfg.exchanges_per_round,
+        )
+        if actives.size:
+            fp = np.repeat(actives, cfg.exchanges_per_round)
+            fq = partners.reshape(-1)
+            # Sorted key table of every peer's current links (ring + long),
+            # rebuilt per round from the cached frozenset views.
+            views = [t.link_view() for t in self.tables]
+            # link_view() above validated every cache; _arr is fresh.
+            arrs = [t._arr for t in self.tables]
+            counts = np.fromiter((len(a) for a in arrs), dtype=np.int64, count=n)
+            owners = np.repeat(np.arange(n, dtype=np.int64), counts)
+            flat = np.concatenate(arrs) if arrs else np.zeros(0, dtype=np.int64)
+            link_keys = np.sort(owners * n + flat)
+            kern = self._xkernel
+            mutual = kern.mutual_counts(fp, fq)
+            bitmaps_p = kern.bitmap_ints(fp, fq, link_keys)
+            bitmaps_q = kern.bitmap_ints(fq, fp, link_keys)
+            peers = self.peers
+            fpl = fp.tolist()
+            fql = fq.tolist()
+            ml = mutual.tolist()
+            for i in range(len(fpl)):
+                p = peers[fpl[i]]
+                q = peers[fql[i]]
+                p.learn_exchange(q.node, ml[i], bitmaps_p[i], views[q.node])
+                q.learn_exchange(p.node, ml[i], bitmaps_q[i], views[p.node])
+        cols = self.columns
+        if cfg.reassign_ids:
+            eligible = self.joined & (cols.moves_done < cfg.max_moves)
+            if cfg.reassign_stride > 1:
+                rota = (np.arange(n) + self._round_no) % cfg.reassign_stride == 0
+                eligible = eligible & rota
+        else:
+            eligible = np.zeros(n, dtype=bool)
+        self.pending_ids[:] = evaluate_positions(
+            self.ids,
+            cols.top2,
+            cols.anchor_pair,
+            cols.anchor_target,
+            eligible,
+            self._degs,
+            tolerance=cfg.movement_tolerance,
+            merge_radius=cfg.merge_radius,
+        )
 
     def _end_of_round(self, engine: SuperstepEngine) -> bool:
         """Round barrier: publish pending ids, refresh ring, test convergence."""
-        tol = self.config.movement_tolerance
-        moves = 0
-        taken = set()
-        for v, peer in enumerate(self.peers):
-            new_id = float(self.pending_ids[v])
-            # Peers relocating to the midpoint of the same anchor pair
-            # would stack on one position; nudge by sub-tolerance steps so
-            # identifiers stay distinct (ties would otherwise degrade
-            # greedy routing's distance comparisons).
-            while new_id in taken:
-                new_id = float(normalize_id(new_id + 2.0**-40))
-            taken.add(new_id)
-            if apply_reassignment(peer, new_id, tol):
-                moves += 1
-                peer.moves_done += 1
-            self.ids[v] = peer.identifier
+        # Bandwidth evictions queued during the superstep land here, so a
+        # peer's link set never mutates while its own vertex phase may
+        # still be pending. The eviction is link churn on the *evicted*
+        # peer: its before/after comparison cannot see the loss, so it is
+        # counted at the barrier or quiescence detection undercounts churn
+        # and can declare convergence a round early.
+        if self._eviction_events:
+            for victim, dst in self._eviction_events:
+                table = self.tables[victim]
+                if dst in table.long_links:
+                    table.long_links.discard(dst)
+                    self.peers[victim].stable_rounds = 0
+                    self.round_link_changes += 1
+            self._eviction_events.clear()
+        # Peers relocating to the midpoint of the same anchor pair would
+        # stack on one position; spread duplicates deterministically so
+        # identifiers stay distinct (ties would otherwise degrade greedy
+        # routing's distance comparisons).
+        final = dedup_ids(self.pending_ids)
+        diff = np.abs(self.ids - final)
+        diff = np.minimum(diff, 1.0 - diff)
+        moved = diff > self.config.movement_tolerance
+        moves = int(moved.sum())
+        self.columns.moves_done[moved] += 1
+        self.ids[:] = final
         self._refresh_ring()
         rnd = engine.supersteps_run
         self.trace.record("id_moves", rnd, moves)
@@ -285,15 +453,14 @@ class SelectOverlay(OverlayNetwork):
             slowest = min(sources, key=lambda s: (float(self.upload_mbps[s]), -s))
             if float(self.upload_mbps[src]) > float(self.upload_mbps[slowest]):
                 sources.discard(slowest)
-                self.tables[slowest].long_links.discard(dst)
-                # The eviction is link churn on the *evicted* peer: its own
-                # vertex program may already have run this round, so its
-                # before/after comparison cannot see the loss. Count it
-                # here or quiescence detection undercounts churn and can
-                # declare convergence a round early.
-                evicted = self.peers[slowest]
-                evicted.stable_rounds = 0
-                self.round_link_changes += 1
+                if self._defer_evictions:
+                    # The slot transfers now; the evicted peer's link-set
+                    # mutation waits for the round barrier.
+                    self._eviction_events.append((slowest, dst))
+                else:
+                    self.tables[slowest].long_links.discard(dst)
+                    self.peers[slowest].stable_rounds = 0
+                    self.round_link_changes += 1
                 sources.add(src)
                 self.incoming_count[dst] = len(sources)
                 return True

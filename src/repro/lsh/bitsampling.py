@@ -33,7 +33,7 @@ class BitSamplingLsh(LshFamily):
         that their local indexes agree.
     """
 
-    __slots__ = ("nbits", "num_samples", "_positions")
+    __slots__ = ("nbits", "num_samples", "_positions", "_poslist")
 
     def __init__(self, nbits: int, num_samples: int = 8, seed=None):
         if nbits < 0:
@@ -47,17 +47,26 @@ class BitSamplingLsh(LshFamily):
             self._positions = np.zeros(0, dtype=np.int64)
         else:
             self._positions = rng.choice(nbits, size=self.num_samples, replace=nbits < self.num_samples)
+        self._poslist = [int(p) for p in self._positions]
 
     @property
     def positions(self) -> np.ndarray:
         """The sampled bit positions (read-only)."""
         return self._positions
 
-    def signature(self, item: np.ndarray) -> int:
-        """Concatenate the sampled bits into an integer signature."""
+    def signature(self, item) -> int:
+        """Concatenate the sampled bits into an integer signature.
+
+        ``item`` may be a packed word array or an int bitset; both read the
+        same logical bit positions.
+        """
         sig = 0
-        for pos in self._positions:
-            sig = (sig << 1) | int(get_bit(item, int(pos)))
+        if isinstance(item, int):
+            for pos in self._poslist:
+                sig = (sig << 1) | ((item >> pos) & 1)
+            return sig
+        for pos in self._poslist:
+            sig = (sig << 1) | int(get_bit(item, pos))
         return sig
 
     def collision_probability(self, similarity: float) -> float:

@@ -73,28 +73,73 @@ class GrowthModel:
         self._rng = as_generator(seed)
 
     def join_order(self) -> list[JoinEvent]:
-        """Produce a full join sequence covering every user of the graph."""
+        """Produce a full join sequence covering every user of the graph.
+
+        Independent joins draw the k-th not-yet-joined user through a
+        Fenwick tree (O(log n) select) instead of materialising the
+        remaining-user array per draw, and a frontier collision removes
+        the single stale entry in place instead of rebuilding the list.
+        Both replacements consume the identical random stream and visit
+        users in the identical order as the straightforward O(n^2)
+        formulation, so join sequences are reproducible across versions.
+        """
         g = self.graph
         n = g.num_nodes
         rng = self._rng
         joined = np.zeros(n, dtype=bool)
         events: list[JoinEvent] = []
-        # Frontier: (user, inviter) pairs of not-yet-joined friends of members.
-        frontier: list[tuple[int, int]] = []
+        # Frontier: not-yet-joined friends of members, in insertion order;
+        # each user appears at most once, with its inviter kept aside.
+        frontier: list[int] = []
+        inviter_of: dict[int, int] = {}
         in_frontier = np.zeros(n, dtype=bool)
+        # Fenwick tree counting not-yet-joined users per prefix. The k-th
+        # smallest unjoined user equals ``np.flatnonzero(~joined)[k]``.
+        fenwick = [0] * (n + 1)
+        for i in range(1, n + 1):
+            fenwick[i] += 1
+            j = i + (i & -i)
+            if j <= n:
+                fenwick[j] += fenwick[i]
+        unjoined = n
+        # Highest power of two <= n, for the top-down k-th select descent.
+        top_bit = 1 << (n.bit_length() - 1)
+        if top_bit > n:
+            top_bit >>= 1
+
+        def mark_joined(user: int) -> None:
+            i = user + 1
+            while i <= n:
+                fenwick[i] -= 1
+                i += i & -i
+
+        def kth_unjoined(k: int) -> int:
+            # Descend to the largest prefix whose unjoined count is <= k.
+            pos = 0
+            bit = top_bit
+            while bit:
+                nxt = pos + bit
+                if nxt <= n and fenwick[nxt] <= k:
+                    pos = nxt
+                    k -= fenwick[nxt]
+                bit >>= 1
+            return pos  # 0-based user id
 
         def register(user: int, inviter: "int | None", step: int) -> None:
             joined[user] = True
+            mark_joined(user)
             events.append(JoinEvent(step=step, user=user, inviter=inviter))
             for friend in g.neighbors(user):
                 friend = int(friend)
                 if not joined[friend] and not in_frontier[friend]:
-                    frontier.append((friend, user))
+                    frontier.append(friend)
+                    inviter_of[friend] = user
                     in_frontier[friend] = True
 
         step = 0
         seed_user = int(rng.integers(n))
         register(seed_user, None, step)
+        unjoined -= 1
         rate = self.initial_rate
         while len(events) < n:
             step += 1
@@ -107,21 +152,25 @@ class GrowthModel:
                 if use_frontier:
                     # Invitation join: pull a random frontier member in.
                     idx = int(rng.integers(len(frontier)))
-                    user, inviter = frontier.pop(idx)
+                    user = frontier.pop(idx)
+                    inviter = inviter_of.pop(user)
                     in_frontier[user] = False
                     if joined[user]:
                         continue
                     register(user, inviter, step)
+                    unjoined -= 1
                 else:
                     # Independent join: a user with no (chosen) inviter.
-                    remaining = np.flatnonzero(~joined)
-                    if remaining.size == 0:
+                    if unjoined == 0:
                         break
-                    user = int(rng.choice(remaining))
+                    user = kth_unjoined(int(rng.integers(unjoined)))
                     if in_frontier[user]:
+                        # Joining independently invalidates the pending invite.
                         in_frontier[user] = False
-                        frontier = [(u, inv) for (u, inv) in frontier if u != user]
+                        del frontier[frontier.index(user)]
+                        del inviter_of[user]
                     register(user, None, step)
+                    unjoined -= 1
         return events
 
     def inviter_map(self, events: "list[JoinEvent] | None" = None) -> dict[int, "int | None"]:

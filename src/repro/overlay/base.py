@@ -103,25 +103,44 @@ class RoutingTable:
     short-range reassignment). Routing reads links orders of magnitude
     more often than gossip changes them, so the hot paths index this view
     instead of re-materializing a set per call.
+
+    Short-range links live in shared *columns*: the owning overlay passes
+    ``columns=(pred_col, succ_col, epoch_cell)`` and this table becomes a
+    view over its slot, so ring maintenance can rewrite the whole
+    network's predecessors/successors as two array stores plus one epoch
+    bump (which lazily invalidates every table's cached view) instead of
+    2n property writes. A table constructed without columns owns a
+    private one-slot column block — same code path, no branching.
     """
 
     __slots__ = (
         "owner",
-        "_predecessor",
-        "_successor",
+        "_slot",
+        "_pred_col",
+        "_succ_col",
+        "_epoch_cell",
+        "_seen_epoch",
         "successors",
         "_long_links",
         "max_long",
         "_dirty",
         "_view",
+        "_arr",
     )
 
-    def __init__(self, owner: int, max_long: int):
+    def __init__(self, owner: int, max_long: int, columns=None):
         if max_long < 0:
             raise ConfigurationError(f"max_long must be non-negative, got {max_long}")
         self.owner = owner
-        self._predecessor: int | None = None
-        self._successor: int | None = None
+        if columns is None:
+            self._pred_col = np.full(1, -1, dtype=np.int64)
+            self._succ_col = np.full(1, -1, dtype=np.int64)
+            self._epoch_cell = [0]
+            self._slot = 0
+        else:
+            self._pred_col, self._succ_col, self._epoch_cell = columns
+            self._slot = owner
+        self._seen_epoch = self._epoch_cell[0]
         #: ordered successor list (immediate successor first, then backups).
         #: Maintenance/repair state only: the backups are *not* routing
         #: links, so they are excluded from :meth:`all_links` and change
@@ -131,25 +150,28 @@ class RoutingTable:
         self.max_long = max_long
         self._dirty = True
         self._view: frozenset[int] = frozenset()
+        self._arr: np.ndarray = np.zeros(0, dtype=np.int64)
 
     # -- cached combined view ----------------------------------------------
 
     @property
     def predecessor(self) -> "int | None":
-        return self._predecessor
+        value = self._pred_col[self._slot]
+        return int(value) if value >= 0 else None
 
     @predecessor.setter
     def predecessor(self, value: "int | None") -> None:
-        self._predecessor = value
+        self._pred_col[self._slot] = -1 if value is None else int(value)
         self._dirty = True
 
     @property
     def successor(self) -> "int | None":
-        return self._successor
+        value = self._succ_col[self._slot]
+        return int(value) if value >= 0 else None
 
     @successor.setter
     def successor(self, value: "int | None") -> None:
-        self._successor = value
+        self._succ_col[self._slot] = -1 if value is None else int(value)
         self._dirty = True
 
     @property
@@ -166,19 +188,35 @@ class RoutingTable:
     def link_view(self) -> frozenset:
         """Cached frozenset of every outgoing link, excluding the owner.
 
-        Identical contents to :meth:`all_links`; rebuilt only when dirty.
+        Identical contents to :meth:`all_links`; rebuilt only when dirty
+        or when the shared ring epoch moved past the one this view saw.
         Callers must treat it as immutable (it is shared between calls).
         """
-        if self._dirty:
+        epoch = self._epoch_cell[0]
+        if self._dirty or self._seen_epoch != epoch:
             out = set(self._long_links)
-            if self._predecessor is not None:
-                out.add(self._predecessor)
-            if self._successor is not None:
-                out.add(self._successor)
+            pred = int(self._pred_col[self._slot])
+            succ = int(self._succ_col[self._slot])
+            if pred >= 0:
+                out.add(pred)
+            if succ >= 0:
+                out.add(succ)
             out.discard(self.owner)
             self._view = frozenset(out)
+            self._arr = np.fromiter(out, dtype=np.int64, count=len(out))
             self._dirty = False
+            self._seen_epoch = epoch
         return self._view
+
+    def link_array(self) -> np.ndarray:
+        """Cached int64 array of :meth:`link_view` (unspecified order).
+
+        Lets whole-network passes concatenate per-peer link tables without
+        re-materializing 10^5-element Python generators per round. Callers
+        must treat it as immutable (it is shared between calls).
+        """
+        self.link_view()
+        return self._arr
 
     def all_links(self) -> set:
         """Every outgoing link (short + long), excluding the owner.
@@ -228,7 +266,16 @@ class OverlayNetwork(ABC):
         # The paper settles on log2(N) direct connections per peer (§IV-C).
         self.k_links = int(k_links) if k_links is not None else max(2, int(np.ceil(np.log2(max(n, 2)))))
         self.ids = np.zeros(n, dtype=np.float64)
-        self.tables: list[RoutingTable] = [RoutingTable(v, self.k_links) for v in range(n)]
+        #: columnar ring state (-1 = unset); RoutingTables are views over
+        #: their slot, and a ring refresh is two array stores + one bump
+        #: of the shared epoch cell.
+        self.ring_pred = np.full(n, -1, dtype=np.int64)
+        self.ring_succ = np.full(n, -1, dtype=np.int64)
+        self._ring_epoch = [0]
+        ring_columns = (self.ring_pred, self.ring_succ, self._ring_epoch)
+        self.tables: list[RoutingTable] = [
+            RoutingTable(v, self.k_links, columns=ring_columns) for v in range(n)
+        ]
         self.incoming_count = np.zeros(n, dtype=np.int64)
         self.iterations = 0
         self._built = False

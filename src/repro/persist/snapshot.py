@@ -35,6 +35,7 @@ from repro.net.availability import CumulativeMovingAverage
 from repro.net.growth import JoinEvent
 from repro.sim.trace import TraceRecorder
 from repro.util.atomicio import atomic_write_json
+from repro.util.bitset import int_from_words, words_from_int
 from repro.util.exceptions import PersistError, SnapshotIntegrityError, SnapshotIOError
 from repro.util.rng import generator_state, restore_generator
 
@@ -88,13 +89,18 @@ def _capture_peer(peer) -> dict:
         "stable_rounds": int(peer.stable_rounds),
         "link_change_budget": int(peer.link_change_budget),
         "last_anchor_pair": None if pair is None else [int(a) for a in pair],
+        "last_anchor_target": None if pair is None else float(peer.last_anchor_target),
         "top2": [int(f) for f in peer._top2],
         # Dicts keep their live insertion order (pair lists): candidate
         # scans iterate them, and under an active fault plan each probe
         # consumes RNG — a re-ordered restore would desynchronize replay.
         "known_mutual": [[int(f), int(m)] for f, m in peer.known_mutual.items()],
+        # Bitmaps live as Python ints; the snapshot keeps the original
+        # packed-word wire format so existing snapshots stay readable
+        # byte-for-byte in both directions.
         "known_bitmap": [
-            [int(f), [int(w) for w in bm]] for f, bm in peer.known_bitmap.items()
+            [int(f), [int(w) for w in words_from_int(bm, peer.codec.nbits)]]
+            for f, bm in peer.known_bitmap.items()
         ],
         "known_bucket": [[int(f), int(b)] for f, b in peer.known_bucket.items()],
         "known_coverage": [[int(f), int(c)] for f, c in peer.known_coverage.items()],
@@ -131,11 +137,15 @@ def _restore_peer(peer, data: dict) -> None:
     peer.link_change_budget = int(data["link_change_budget"])
     pair = data["last_anchor_pair"]
     peer.last_anchor_pair = None if pair is None else tuple(int(a) for a in pair)
+    target = data.get("last_anchor_target")
+    peer.last_anchor_target = float("nan") if target is None else float(target)
     peer._top2 = [int(f) for f in data["top2"]]
     peer.known_mutual = {int(f): int(m) for f, m in data["known_mutual"]}
     peer.known_bitmap = {
-        int(f): np.asarray(words, dtype=np.uint64) for f, words in data["known_bitmap"]
+        int(f): int_from_words(np.asarray(words, dtype=np.uint64))
+        for f, words in data["known_bitmap"]
     }
+    peer._known_arr = None  # key set replaced wholesale: drop the cached array
     peer.known_bucket = {int(f): int(b) for f, b in data["known_bucket"]}
     peer.known_coverage = {int(f): int(c) for f, c in data["known_coverage"]}
     peer.lookahead = {
@@ -412,9 +422,13 @@ def restore_into(
     overlay.round_link_changes = int(data["round_link_changes"])
     overlay._quiet_rounds = int(data["quiet_rounds"])
     overlay._lsh_seed = int(data["lsh_seed"])
-    overlay.ids = np.asarray(data["ids"], dtype=np.float64)
-    overlay.pending_ids = np.asarray(data["pending_ids"], dtype=np.float64)
-    overlay.joined = np.asarray(data["joined"], dtype=bool)
+    # In place: ids and joined are the overlay's shared column storage
+    # (PeerState views alias them); rebinding would silently detach every
+    # peer from the restored values.
+    overlay.ids[:] = np.asarray(data["ids"], dtype=np.float64)
+    overlay.pending_ids[:] = np.asarray(data["pending_ids"], dtype=np.float64)
+    overlay.joined[:] = np.asarray(data["joined"], dtype=bool)
+    overlay._ring_index.invalidate()
     overlay._incoming_sources = [set(srcs) for srcs in data["incoming_sources"]]
     overlay.incoming_count = np.array(
         [len(s) for s in overlay._incoming_sources], dtype=np.int64

@@ -20,7 +20,15 @@ __all__ = ["VertexProgram", "VertexContext", "SuperstepEngine"]
 
 
 class VertexProgram(Protocol):
-    """Per-vertex behaviour plugged into the engine."""
+    """Per-vertex behaviour plugged into the engine.
+
+    A program may additionally define ``begin_round(engine)``; when
+    present the engine calls it once at the start of every superstep,
+    before any vertex's ``compute``. This is the hook a program uses to
+    run whole-network batch phases (vectorized supersteps) while keeping
+    per-vertex work in ``compute`` — mirroring Gelly's ability to stage a
+    DataSet-wide transformation between vertex iterations.
+    """
 
     def compute(self, ctx: "VertexContext", vertex: int, messages: list) -> None:
         """Process ``messages`` addressed to ``vertex`` this superstep."""
@@ -97,6 +105,9 @@ class SuperstepEngine:
         if not pending:
             return False
         self._messages_sent = 0
+        begin_round = getattr(self.program, "begin_round", None)
+        if begin_round is not None:
+            begin_round(self)
         for vertex in range(self.num_vertices):
             messages = self._inbox[vertex]
             if messages:

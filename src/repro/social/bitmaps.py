@@ -39,6 +39,11 @@ class BitmapCodec:
         """The friend array that defines the bit positions."""
         return self._neighborhood
 
+    @property
+    def position(self) -> dict[int, int]:
+        """Friend id -> bit position map (read-only; do not mutate)."""
+        return self._position
+
     def encode(self, linked_nodes) -> np.ndarray:
         """Bitmap marking which of the neighborhood the given nodes cover.
 
@@ -50,15 +55,25 @@ class BitmapCodec:
             return np.zeros(self.nwords, dtype=np.uint64)
         return bitset_from_indices(positions, self.nbits)
 
-    def decode(self, bitmap: np.ndarray) -> np.ndarray:
-        """Node ids whose bits are set in ``bitmap``."""
+    def encode_int(self, linked_nodes) -> int:
+        """Same bitmap as :meth:`encode`, as a Python int (hot-path form)."""
+        acc = 0
+        pos = self._position
+        for v in linked_nodes:
+            i = pos.get(int(v))
+            if i is not None:
+                acc |= 1 << i
+        return acc
+
+    def decode(self, bitmap) -> np.ndarray:
+        """Node ids whose bits are set in ``bitmap`` (packed array or int)."""
         from repro.util.bitset import bitset_to_indices
 
         idx = bitset_to_indices(bitmap)
         idx = idx[idx < self.nbits]
         return self._neighborhood[idx]
 
-    def coverage(self, bitmap: np.ndarray) -> float:
+    def coverage(self, bitmap) -> float:
         """Fraction of the neighborhood covered by ``bitmap``."""
         from repro.util.bitset import popcount
 

@@ -4,7 +4,15 @@ SELECT's gossip protocol exchanges *friendship bitmaps*: for a peer ``p``
 with neighborhood ``C_p``, the bitmap of a friend ``u`` marks which members
 of ``C_p`` appear in ``u``'s routing table. These bitmaps are the inputs to
 the LSH link-selection step, so intersection/Hamming operations sit on the
-hot path. We pack them 64 bits per word and rely on vectorized popcounts.
+hot path.
+
+Two representations coexist: packed ``numpy.uint64`` word arrays (the wire
+and vector-kernel format) and arbitrary-precision Python ints (the per-peer
+hot-path format — ``int.bit_count`` / ``|`` / ``>>`` beat numpy call
+overhead at bitmap sizes of a few words). Logical bit ``i`` lives in word
+``i // 64`` at in-word position ``i % 64``, which matches the little-endian
+byte order used by the int converters. The query helpers (:func:`popcount`,
+:func:`hamming_distance`, :func:`get_bit`, ...) accept either form.
 """
 
 from __future__ import annotations
@@ -15,6 +23,8 @@ __all__ = [
     "words_for_bits",
     "bitset_from_indices",
     "bitset_to_indices",
+    "int_from_words",
+    "words_from_int",
     "popcount",
     "bitset_intersection_count",
     "bitset_union_count",
@@ -49,44 +59,76 @@ def bitset_from_indices(indices, nbits: int) -> np.ndarray:
     return words
 
 
-def bitset_to_indices(words: np.ndarray) -> np.ndarray:
-    """Return the sorted indices of set bits in a packed bitset."""
+def bitset_to_indices(words) -> np.ndarray:
+    """Return the sorted indices of set bits in a packed bitset or int."""
+    if isinstance(words, int):
+        if words < 0:
+            raise ValueError("int bitsets must be non-negative")
+        nbytes = max(1, (words.bit_length() + 7) // 8)
+        raw = np.frombuffer(words.to_bytes(nbytes, "little"), dtype=np.uint8)
+        return np.flatnonzero(np.unpackbits(raw, bitorder="little"))
     bits = np.unpackbits(words.view(np.uint8), bitorder="little")
     return np.flatnonzero(bits)
 
 
-def popcount(words: np.ndarray) -> int:
-    """Total number of set bits across the packed words.
+def int_from_words(words: np.ndarray) -> int:
+    """Fold a packed word array into one Python int (bit ``i`` stays bit ``i``)."""
+    return int.from_bytes(np.ascontiguousarray(words, dtype=np.uint64).tobytes(), "little")
+
+
+def words_from_int(value: int, nbits: int) -> np.ndarray:
+    """Expand an int bitset back into a packed word array for ``nbits`` bits."""
+    nwords = max(1, words_for_bits(nbits))
+    if value < 0 or value.bit_length() > nwords * _WORD_BITS:
+        raise ValueError(f"int bitset does not fit in {nbits} bits")
+    raw = value.to_bytes(nwords * 8, "little")
+    return np.frombuffer(raw, dtype=np.uint64).copy()
+
+
+def popcount(words) -> int:
+    """Total number of set bits across the packed words (or an int bitset).
 
     Bitmaps here are tiny (one word per 64 friends), so Python's native
     ``int.bit_count`` beats any vectorized formulation — numpy call
     overhead dominates at this size.
     """
+    if isinstance(words, int):
+        return words.bit_count()
     if words.size == 1:
         return int(words[0]).bit_count()
     return sum(int(w).bit_count() for w in words.tolist())
 
 
-def bitset_intersection_count(a: np.ndarray, b: np.ndarray) -> int:
-    """``|a & b|`` for two packed bitsets of equal word length."""
+def bitset_intersection_count(a, b) -> int:
+    """``|a & b|`` for two bitsets of matching width (packed or int)."""
+    if isinstance(a, int) and isinstance(b, int):
+        return (a & b).bit_count()
     _check_same_shape(a, b)
     return popcount(a & b)
 
 
-def bitset_union_count(a: np.ndarray, b: np.ndarray) -> int:
-    """``|a | b|`` for two packed bitsets of equal word length."""
+def bitset_union_count(a, b) -> int:
+    """``|a | b|`` for two bitsets of matching width (packed or int)."""
+    if isinstance(a, int) and isinstance(b, int):
+        return (a | b).bit_count()
     _check_same_shape(a, b)
     return popcount(a | b)
 
 
-def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
-    """Number of differing bits between two packed bitsets."""
+def hamming_distance(a, b) -> int:
+    """Number of differing bits between two bitsets (packed or int)."""
+    if isinstance(a, int) or isinstance(b, int):
+        ia = a if isinstance(a, int) else int_from_words(a)
+        ib = b if isinstance(b, int) else int_from_words(b)
+        return (ia ^ ib).bit_count()
     _check_same_shape(a, b)
     return popcount(a ^ b)
 
 
-def get_bit(words: np.ndarray, index: int) -> bool:
-    """Read logical bit ``index`` from a packed bitset."""
+def get_bit(words, index: int) -> bool:
+    """Read logical bit ``index`` from a packed bitset or int bitset."""
+    if isinstance(words, int):
+        return bool((words >> index) & 1)
     return bool((words[index // _WORD_BITS] >> np.uint64(index % _WORD_BITS)) & np.uint64(1))
 
 
