@@ -23,7 +23,25 @@ import numpy as np
 from repro.core.peer import PeerState
 from repro.core.picker import picker
 
-__all__ = ["create_links", "random_links", "closer_successor"]
+__all__ = ["create_links", "plan_links", "random_links", "closer_successor"]
+
+
+def _bucket_groups(peer: PeerState) -> dict:
+    """The LSH grouping Algorithm 5 iterates (maintained at learn time)."""
+    if peer.lsh_family is None:
+        # No family: everything hashes to bucket 0; group locally.
+        buckets: dict = defaultdict(list)
+        for friend in peer.known_bitmap:
+            if friend != peer.node:
+                buckets[peer.bucket_of(friend)].append(friend)
+        return buckets
+    # The membership index is maintained at learn time; only friends
+    # seen before the LSH family was set still need a bucket.
+    if len(peer.known_bucket) < len(peer.known_bitmap):
+        for friend in peer.known_bitmap:
+            if friend not in peer.known_bucket:
+                peer.bucket_of(friend)
+    return peer.bucket_members
 
 
 def create_links(
@@ -64,20 +82,7 @@ def create_links(
     """
     if not peer.known_bitmap:
         return False
-    if peer.lsh_family is None:
-        # No family: everything hashes to bucket 0; group locally.
-        buckets: dict = defaultdict(list)
-        for friend in peer.known_bitmap:
-            if friend != peer.node:
-                buckets[peer.bucket_of(friend)].append(friend)
-    else:
-        # The membership index is maintained at learn time; only friends
-        # seen before the LSH family was set still need a bucket.
-        if len(peer.known_bucket) < len(peer.known_bitmap):
-            for friend in peer.known_bitmap:
-                if friend not in peer.known_bucket:
-                    peer.bucket_of(friend)
-        buckets = peer.bucket_members
+    buckets = _bucket_groups(peer)
 
     if upload_mbps is None and incoming_sources is not None and incoming_count is not None:
         return _create_links_planned(
@@ -116,6 +121,33 @@ def create_links(
     return changed
 
 
+def plan_links(
+    peer: PeerState,
+    k_links: int,
+    incoming_count: np.ndarray,
+    hysteresis: int = 2,
+) -> "set[int] | None":
+    """Algorithm 5's target link set for one peer, computed without
+    touching any shared state.
+
+    Returns the planned long-link set, or ``None`` when the peer has no
+    gossip knowledge yet or the plan equals the current set. This is the
+    read-only half of the plan-then-apply split: the sharded engine calls
+    it inside worker processes against the round-start admission ledger
+    and applies the resulting net diffs in vertex order at the barrier
+    (:mod:`repro.shard`); the single-process planned path applies the
+    diff immediately via :func:`create_links`. Only valid without a
+    bandwidth model (admission must be a pure predicate over the ledger).
+    """
+    if not peer.known_bitmap:
+        return None
+    buckets = _bucket_groups(peer)
+    virtual = _plan_virtual(peer, k_links, buckets, hysteresis, incoming_count)
+    if virtual == peer.table.long_links:
+        return None
+    return virtual
+
+
 def _create_links_planned(
     peer: PeerState,
     k_links: int,
@@ -138,6 +170,31 @@ def _create_links_planned(
     cannot be refused and the final ledger/table state is bit-identical
     to what the mutating pass would leave.
     """
+    table = peer.table
+    node = peer.node
+    current = table.long_links
+    virtual = _plan_virtual(peer, k_links, buckets, hysteresis, incoming_count)
+    if virtual == current:
+        return False
+    # Net application: free slots first, then claim the planned ones.
+    for w in sorted(w for w in current if w not in virtual):
+        current.discard(w)
+        disconnect(node, w)
+    changed = True
+    for w in sorted(w for w in virtual if w not in current):
+        if try_connect(node, w):
+            current.add(w)
+    return changed
+
+
+def _plan_virtual(
+    peer: PeerState,
+    k_links: int,
+    buckets,
+    hysteresis: int,
+    incoming_count: np.ndarray,
+) -> "set[int]":
+    """Simulate the Algorithm 5 pass; returns the target link set."""
     table = peer.table
     node = peer.node
     coverage = peer.known_coverage
@@ -196,17 +253,7 @@ def _create_links_planned(
             append(key)
         for key in heapq.nsmallest(need, keys):
             virtual.add(key & 0x7FFFFFFF)
-    if virtual == current:
-        return False
-    # Net application: free slots first, then claim the planned ones.
-    for w in [w for w in current if w not in virtual]:
-        current.discard(w)
-        disconnect(node, w)
-    changed = True
-    for w in sorted(w for w in virtual if w not in current):
-        if try_connect(node, w):
-            current.add(w)
-    return changed
+    return virtual
 
 
 def _stability_bias(

@@ -72,12 +72,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["all", "report", "snapshot", "scenario", "live", "trace"],
+        + ["all", "report", "snapshot", "scenario", "live", "trace", "build"],
         help="which artifact to regenerate, 'report' to render a telemetry dir, "
         "'snapshot' to save a converged overlay, 'scenario' to run a named "
         "chaos scenario to an SLO verdict, 'live' to run a scripted "
-        "asyncio cluster with SWIM membership, or 'trace' to render the "
-        "causal trees of a traced live run",
+        "asyncio cluster with SWIM membership, 'trace' to render the "
+        "causal trees of a traced live run, or 'build' to run one overlay "
+        "construction (optionally ring-sharded across worker processes)",
     )
     parser.add_argument(
         "dir",
@@ -160,7 +161,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         default=None,
         metavar="PATH",
-        help="warm-start from a snapshot directory saved by 'select-repro snapshot'",
+        help="warm-start from a snapshot directory saved by 'select-repro snapshot'; "
+        "with 'build', resume a sharded build from a checkpoint directory",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="with 'build': worker processes for sharded construction (default 1)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="with 'build': ring arcs (default: one per worker); "
+        "--shards with --workers 1 runs the sharded semantics in-process",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="with 'build': write shard checkpoint generations into DIR",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        help="with 'build': rounds between checkpoints (default 10)",
+    )
+    parser.add_argument(
+        "--parity",
+        action="store_true",
+        help="with 'build': also run the 1-worker in-process sharded build "
+        "and assert the results are bit-identical",
     )
     return parser
 
@@ -212,6 +245,99 @@ def _run_snapshot(args, config: ExperimentConfig) -> int:
         f"{dataset} n={graph.num_nodes}, converged at round {manifest['round']}"
     )
     return 0
+
+
+def _run_build(args, config: ExperimentConfig) -> int:
+    """Run one (optionally sharded) overlay construction end to end."""
+    import time
+
+    import numpy as np
+
+    from repro.core.config import SelectConfig
+    from repro.core.select import SelectOverlay
+    from repro.experiments.common import dataset_graph
+
+    dataset = config.datasets[0]
+    graph = dataset_graph(config, dataset, 0)
+    seed = config.seed
+    select_cfg = SelectConfig(num_workers=args.workers, shards=args.shards)
+    registry = MetricsRegistry() if args.telemetry else None
+    overlay = SelectOverlay(graph, config=select_cfg)
+    opts = {}
+    if args.checkpoint:
+        opts["checkpoint_dir"] = args.checkpoint
+        opts["checkpoint_every"] = args.checkpoint_every
+    if args.resume:
+        opts["resume_from"] = args.resume
+    if registry is not None:
+        opts["registry"] = registry
+    overlay.shard_opts = opts
+    t0 = time.perf_counter()
+    overlay.build(seed=seed)
+    elapsed = time.perf_counter() - t0
+    shards = select_cfg.effective_shards or 1
+    print(
+        f"build: {dataset} n={graph.num_nodes} seed={seed} "
+        f"workers={args.workers} shards={shards} -> converged in "
+        f"{overlay.iterations} rounds, {elapsed:.2f}s"
+    )
+    stats = overlay.shard_stats
+    if stats:
+        print(
+            f"  shard engine: {stats['rounds']} rounds, "
+            f"{sum(stats['frames'].values())} frames, "
+            f"{stats['boundary_bytes']} boundary bytes, "
+            f"barrier wait {stats['barrier_wait_s']:.2f}s, "
+            f"{stats['cross_arc_pairs']} cross-arc pairs, "
+            f"{stats['checkpoints']} checkpoints, "
+            f"{stats['restarts']} restarts, {stats['rebalances']} rebalances"
+        )
+        if stats["worker_peak_rss_kb"]:
+            print(
+                f"  worker peak RSS: "
+                f"{', '.join(str(r) + ' KiB' for r in stats['worker_peak_rss_kb'])}"
+            )
+    rc = 0
+    if args.parity:
+        ref_cfg = SelectConfig(num_workers=1, shards=shards)
+        ref = SelectOverlay(graph, config=ref_cfg)
+        ref.build(seed=seed)
+        ids_ok = bool(np.array_equal(overlay.ids, ref.ids))
+        links_ok = [sorted(t.long_links) for t in overlay.tables] == [
+            sorted(t.long_links) for t in ref.tables
+        ]
+        status = "ok" if ids_ok and links_ok else "FAILED"
+        print(
+            f"  parity vs 1-worker in-process build: {status} "
+            f"(identifiers {'==' if ids_ok else '!='}, "
+            f"links {'==' if links_ok else '!='})"
+        )
+        if not (ids_ok and links_ok):
+            rc = 1
+    if args.dir:
+        from repro.persist import save
+
+        snapshot = overlay.snapshot()
+        save(snapshot, args.dir)
+        print(f"  snapshot {snapshot['manifest']['snapshot_id']} written to {args.dir}")
+    if args.telemetry:
+        from repro.telemetry.export import write_telemetry
+
+        meta = {
+            "build_dataset": dataset,
+            "seed": seed,
+            "num_nodes": graph.num_nodes,
+            "workers": args.workers,
+            "shards": shards,
+        }
+        paths = write_telemetry(
+            args.telemetry, registry, meta=meta, provenance={"root_seed": seed}
+        )
+        print(
+            f"[telemetry written to {args.telemetry}: {', '.join(sorted(paths))}]",
+            file=sys.stderr,
+        )
+    return rc
 
 
 def _run_scenario(args) -> int:
@@ -445,6 +571,8 @@ def main(argv=None) -> int:
     config = config_from_args(args)
     if args.experiment == "snapshot":
         return _run_snapshot(args, config)
+    if args.experiment == "build":
+        return _run_build(args, config)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     # The CLI always times phases through a real registry (perf_counter
     # underneath); only --telemetry installs it process-wide so the

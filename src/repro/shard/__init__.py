@@ -1,0 +1,31 @@
+"""repro.shard — ring-sharded multiprocess overlay construction.
+
+The subsystem that lets one SELECT build span worker processes:
+:class:`~repro.shard.plan.ShardPlan` cuts the sorted identifier ring
+into contiguous arcs, :class:`~repro.shard.engine.ShardedOverlayEngine`
+runs each arc's supersteps in forked workers under a typed barrier
+protocol (:mod:`repro.shard.frames`), and :mod:`repro.shard.snapshot`
+checkpoints each arc as a sub-snapshot of the persist format so builds
+survive worker crashes and rebalance across worker counts.
+
+Entry point: set ``SelectConfig.num_workers`` (and optionally
+``shards``) and call ``SelectOverlay.build`` as usual — the result is
+bit-identical at any worker count.
+"""
+
+from repro.shard.engine import ShardedOverlayEngine
+from repro.shard.frames import ArcFrame, BarrierFrame, CheckpointAck, PlanFrame
+from repro.shard.plan import ShardPlan
+from repro.shard.rounds import ShardWorkerCore, apply_plan_log, publish_ids
+
+__all__ = [
+    "ShardPlan",
+    "ShardedOverlayEngine",
+    "ShardWorkerCore",
+    "apply_plan_log",
+    "publish_ids",
+    "PlanFrame",
+    "BarrierFrame",
+    "CheckpointAck",
+    "ArcFrame",
+]

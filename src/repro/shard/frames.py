@@ -1,0 +1,114 @@
+"""Typed barrier frames for the sharded construction protocol.
+
+One frame kind per protocol step, pickled to bytes by the sender so the
+parent can meter boundary traffic exactly (``shard.boundary_bytes`` is
+the sum of encoded frame lengths). Frames are **seed-deterministic**:
+every field is a pure function of the build seed and the round number —
+plans are emitted in vertex order, per-peer payloads keep their live
+dict order (the persist determinism contract), and numpy arrays pickle
+their exact bytes — so two runs of the same seed produce byte-identical
+frame streams at any worker count (pinned by ``tests/test_shard.py``
+via the engine's running frame digest). The one exception is
+:attr:`ArcFrame.peak_rss_kb`, a runtime measurement; arc frames are
+therefore metered but excluded from the digest.
+
+Protocol per round (worker view):
+
+1. send :class:`PlanFrame` — Alg. 5–6 net-diff plans for owned vertices
+   plus the owned slice of Alg. 2's proposed identifiers.
+2. recv :class:`BarrierFrame` — the merged, vertex-ordered plan log, the
+   deduplicated identifier delta, the stop flag, and (optionally) a
+   checkpoint directive naming the parent snapshot id to write arcs for.
+3. (on checkpoint) send :class:`CheckpointAck` after the arc
+   sub-snapshots are durably on disk — the parent writes ``build.json``
+   only after every ack, so a complete generation always has the parent
+   record last.
+4. (on stop) send :class:`ArcFrame` — the final heavy gossip state of
+   every owned vertex, handed back to the parent replica.
+
+Partner draws and the Alg. 3–4 exchange quantities cross **no** frame:
+they are deterministic functions of replicated light state, so every
+replica derives them locally (see DESIGN.md, sharded determinism
+contract).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "PlanFrame",
+    "BarrierFrame",
+    "CheckpointAck",
+    "ArcFrame",
+    "encode",
+    "decode",
+]
+
+
+@dataclass
+class PlanFrame:
+    """Worker -> parent at the end of a round's compute phase."""
+
+    kind = "plan"
+    round_no: int
+    worker: int
+    #: ``(vertex, drops, adds)`` net link diffs, vertex-ascending; drops
+    #: and adds are sorted tuples.
+    plans: list
+    #: Alg. 2 proposals for the worker's owned vertices (plan order).
+    pending: np.ndarray
+
+
+@dataclass
+class BarrierFrame:
+    """Parent -> every worker: the round's globally agreed outcome."""
+
+    kind = "barrier"
+    round_no: int
+    #: all workers' plans merged, sorted by vertex — the application order.
+    plans: list
+    #: identifiers that changed after dedup (indices + exact new values).
+    changed_idx: np.ndarray
+    changed_vals: np.ndarray
+    #: construction is over after this barrier (converged or max_rounds).
+    stop: bool
+    #: ``(generation_dir, parent_snapshot_id)`` when this barrier
+    #: checkpoints, else None.
+    checkpoint: "tuple[str, str] | None" = None
+
+
+@dataclass
+class CheckpointAck:
+    """Worker -> parent: owned arc sub-snapshots are on disk."""
+
+    kind = "checkpoint_ack"
+    round_no: int
+    worker: int
+    #: shard -> arc state content digest, for the parent's build record.
+    arcs: dict = field(default_factory=dict)
+
+
+@dataclass
+class ArcFrame:
+    """Worker -> parent after the stop barrier: final owned heavy state."""
+
+    kind = "arc"
+    worker: int
+    #: ``(vertex, payload)`` per owned vertex, vertex-ascending; payload
+    #: is the persist format's per-peer record (``_capture_peer``).
+    peers: list
+    #: the worker process's peak resident set size (KiB, ``ru_maxrss``).
+    peak_rss_kb: int
+
+
+def encode(frame) -> bytes:
+    """Pickle a frame; the byte length is the metered boundary cost."""
+    return pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode(data: bytes):
+    return pickle.loads(data)

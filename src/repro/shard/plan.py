@@ -1,0 +1,183 @@
+"""Ring arc partitioning for sharded overlay construction.
+
+A :class:`ShardPlan` splits the sorted identifier ring into contiguous
+arcs, one per shard. Vertices are ordered by ``(identifier, index)`` —
+the exact total order :class:`repro.overlay.ring.RingIndex` sorts by —
+and the sorted sequence is cut into ``num_shards`` runs of near-equal
+size. Each arc therefore covers a contiguous clockwise interval of the
+ring: arc ``s`` spans ``[boundaries[s], boundaries[s+1])`` and the last
+arc wraps the seam, spanning ``[boundaries[-1], 1) ∪ [0, boundaries[0])``.
+Together the arcs tile the full circle, so every identifier in ``[0, 1)``
+maps to exactly one shard.
+
+Ownership is **by vertex**, frozen at plan time: identifiers move during
+Algorithm 2 reassignment, but a vertex's shard does not. The arc bounds
+describe the plan-time interval and are recorded in shard sub-snapshot
+manifests (:mod:`repro.shard.snapshot`).
+
+Shards are decoupled from workers: shard ``s`` is executed by worker
+``s % num_workers``. A checkpoint taken with 4 shards on 4 workers can
+resume on 2 workers (each restoring two arcs) — rebalancing is exactly
+"snapshot arc, restore elsewhere".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.exceptions import ShardError
+
+__all__ = ["ShardPlan"]
+
+
+class ShardPlan:
+    """Contiguous-arc partition of the identifier ring.
+
+    Attributes
+    ----------
+    num_nodes / num_shards:
+        Sizes; ``1 <= num_shards <= num_nodes``.
+    order:
+        ``(n,)`` int64 — vertices in clockwise ``(identifier, index)``
+        order at plan time.
+    starts:
+        ``(num_shards + 1,)`` int64 — offsets into ``order``; shard ``s``
+        owns ``order[starts[s]:starts[s+1]]`` (balanced within one).
+    boundaries:
+        ``(num_shards,)`` float64 — the identifier of each shard's first
+        vertex; the lower bound of its arc.
+    vertex_shard:
+        ``(n,)`` int64 — owning shard of each vertex.
+    """
+
+    __slots__ = ("num_nodes", "num_shards", "order", "starts", "boundaries", "vertex_shard")
+
+    def __init__(self, num_nodes: int, num_shards: int, order, boundaries):
+        self.num_nodes = int(num_nodes)
+        self.num_shards = int(num_shards)
+        self.order = np.asarray(order, dtype=np.int64)
+        self.boundaries = np.asarray(boundaries, dtype=np.float64)
+        n, s = self.num_nodes, self.num_shards
+        self.starts = np.array([(k * n) // s for k in range(s + 1)], dtype=np.int64)
+        self.vertex_shard = np.empty(n, dtype=np.int64)
+        for k in range(s):
+            self.vertex_shard[self.order[self.starts[k] : self.starts[k + 1]]] = k
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_ids(cls, ids: np.ndarray, num_shards: int) -> "ShardPlan":
+        """Partition the ring as the identifiers stand right now."""
+        ids = np.asarray(ids, dtype=np.float64)
+        n = len(ids)
+        if num_shards < 1:
+            raise ShardError(f"num_shards must be >= 1, got {num_shards}")
+        if num_shards > n:
+            raise ShardError(
+                f"cannot cut a {n}-vertex ring into {num_shards} arcs: "
+                f"every arc needs at least one vertex"
+            )
+        order = np.lexsort((np.arange(n), ids))
+        starts = [(k * n) // num_shards for k in range(num_shards)]
+        boundaries = ids[order[starts]]
+        return cls(n, num_shards, order, boundaries)
+
+    # -- queries ---------------------------------------------------------------
+
+    def shard_vertices(self, shard: int) -> np.ndarray:
+        """Vertices of ``shard`` in clockwise ring order."""
+        return self.order[self.starts[shard] : self.starts[shard + 1]]
+
+    def shard_of_vertex(self, vertex: int) -> int:
+        return int(self.vertex_shard[vertex])
+
+    def shard_of_point(self, x: float) -> int:
+        """The arc containing ring position ``x`` (seam wrap included)."""
+        j = int(np.searchsorted(self.boundaries, x, side="right")) - 1
+        return j if j >= 0 else self.num_shards - 1
+
+    def arc_bounds(self, shard: int) -> "tuple[float, float]":
+        """``[lo, hi)`` of the arc; the last arc's ``hi`` wraps past 1.0."""
+        lo = float(self.boundaries[shard])
+        hi = float(self.boundaries[(shard + 1) % self.num_shards])
+        return lo, hi
+
+    def worker_shards(self, worker: int, num_workers: int) -> "list[int]":
+        """Shards executed by ``worker`` (round-robin over shards)."""
+        return list(range(worker, self.num_shards, num_workers))
+
+    def worker_mask(self, worker: int, num_workers: int) -> np.ndarray:
+        """Boolean ownership mask over vertices for ``worker``."""
+        mask = np.zeros(self.num_nodes, dtype=bool)
+        for s in self.worker_shards(worker, num_workers):
+            mask[self.shard_vertices(s)] = True
+        return mask
+
+    # -- validation ------------------------------------------------------------
+
+    def validate(self, ids: "np.ndarray | None" = None) -> None:
+        """Raise :class:`ShardError` unless the plan partitions the ring.
+
+        Checks: shard count bounds, ``order`` is a permutation (so the
+        arcs are non-overlapping and jointly cover every vertex), each
+        arc non-empty and contiguous in the sorted order, boundaries
+        non-decreasing with the seam wrap on the last arc only. With
+        ``ids`` the plan is checked against the live ring: ``order`` must
+        sort ``(id, index)`` and each boundary must be its arc's first
+        identifier.
+        """
+        n, s = self.num_nodes, self.num_shards
+        if not (1 <= s <= n):
+            raise ShardError(f"invalid plan: {s} shards over {n} vertices")
+        if len(self.order) != n:
+            raise ShardError(f"invalid plan: order has {len(self.order)} entries for {n} vertices")
+        seen = np.zeros(n, dtype=bool)
+        seen[self.order] = True
+        if not seen.all():
+            missing = int(np.flatnonzero(~seen)[0])
+            raise ShardError(
+                f"invalid plan: order is not a permutation (vertex {missing} unassigned "
+                f"— arcs overlap or leave a gap)"
+            )
+        if (self.starts[1:] <= self.starts[:-1]).any():
+            raise ShardError("invalid plan: empty arc (shard counts must be >= 1)")
+        if len(self.boundaries) != s:
+            raise ShardError(
+                f"invalid plan: {len(self.boundaries)} boundaries for {s} shards"
+            )
+        if (np.diff(self.boundaries) < 0).any():
+            raise ShardError(
+                "invalid plan: arc boundaries out of clockwise order "
+                "(only the last arc may wrap the seam)"
+            )
+        if ids is not None:
+            ids = np.asarray(ids, dtype=np.float64)
+            key = list(zip(ids[self.order].tolist(), self.order.tolist()))
+            if key != sorted(key):
+                raise ShardError("invalid plan: order does not sort the live (id, index) ring")
+            firsts = ids[self.order[self.starts[:-1]]]
+            if not np.array_equal(firsts, self.boundaries):
+                raise ShardError(
+                    "invalid plan: boundaries do not match each arc's first identifier"
+                )
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "num_nodes": self.num_nodes,
+            "num_shards": self.num_shards,
+            "order": [int(v) for v in self.order],
+            "boundaries": [float(b) for b in self.boundaries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardPlan":
+        plan = cls(
+            int(data["num_nodes"]),
+            int(data["num_shards"]),
+            data["order"],
+            data["boundaries"],
+        )
+        plan.validate()
+        return plan

@@ -1,0 +1,349 @@
+"""Shard sub-snapshots: arc state on disk, build records, generations.
+
+A sharded build checkpoints as one **generation** directory per
+checkpointed round::
+
+    <ckpt_dir>/gen-000012/
+        shard-000/manifest.json   # select-repro/shard/v1
+        shard-000/state.json      # per-peer persist payloads for the arc
+        shard-001/...
+        build.json                # parent record — written LAST
+
+Each ``shard-NNN`` directory is a *sub-snapshot* of the persist format
+(PR 5): its ``state.json`` carries the exact
+:func:`repro.persist.snapshot._capture_peer` payload for every vertex of
+that arc, and its manifest binds the arc to its parent build via the
+parent's content-derived snapshot id. The parent's ``build.json``
+carries everything the light replica needs to resume (identifiers,
+routing tables, admission ledger, RNG state, trace, the
+:class:`~repro.shard.plan.ShardPlan`) and is written **after** every
+worker has acked its arcs — so a generation containing ``build.json`` is
+complete by construction, and a crash at any instant leaves either a
+complete generation or a partial one that restore skips.
+
+Arcs are keyed by *shard*, not worker: a checkpoint taken with 4 shards
+on 4 workers restores on 2 workers by handing each worker two arc
+directories (the manifest's ``worker`` field records who wrote it, which
+is how the engine counts rebalances).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.net.growth import JoinEvent
+from repro.persist.snapshot import (
+    _capture_peer,
+    _restore_peer,
+    graph_fingerprint,
+    snapshot_id,
+)
+from repro.shard.plan import ShardPlan
+from repro.sim.trace import TraceRecorder
+from repro.util.atomicio import atomic_write_json
+from repro.util.exceptions import ShardError, SnapshotIntegrityError
+from repro.util.rng import generator_state, restore_generator
+
+__all__ = [
+    "ARC_SCHEMA",
+    "BUILD_SCHEMA",
+    "BUILD_FILE",
+    "capture_build_state",
+    "restore_build_state",
+    "write_build_record",
+    "load_build",
+    "save_arc",
+    "load_arc",
+    "restore_arc",
+    "generation_dir",
+    "latest_generation",
+    "prune_generations",
+]
+
+ARC_SCHEMA = "select-repro/shard/v1"
+BUILD_SCHEMA = "select-repro/shard-build/v1"
+BUILD_FILE = "build.json"
+_GEN_PREFIX = "gen-"
+_SHARD_PREFIX = "shard-"
+
+
+def generation_dir(root: str, round_no: int) -> str:
+    return os.path.join(root, f"{_GEN_PREFIX}{round_no:06d}")
+
+
+def _shard_dir(gen_dir: str, shard: int) -> str:
+    return os.path.join(gen_dir, f"{_SHARD_PREFIX}{shard:03d}")
+
+
+# -- parent build record -------------------------------------------------------
+
+
+def capture_build_state(overlay, plan: ShardPlan, rng, num_workers: int) -> dict:
+    """The light replica's resume payload at a round barrier.
+
+    Heavy gossip state is *not* here — it lives in the arcs. The id is
+    content-derived (no timestamps), so the same barrier re-captured
+    yields the same ``build.json`` byte-for-byte.
+    """
+    return {
+        "schema": BUILD_SCHEMA,
+        "round": int(overlay._round_no),
+        "quiet_rounds": int(overlay._quiet_rounds),
+        "iterations": int(overlay.iterations),
+        "k_links": int(overlay.k_links),
+        "lsh_seed": int(overlay._lsh_seed),
+        "config": asdict(overlay.config),
+        "graph_fingerprint": graph_fingerprint(overlay.graph),
+        "num_workers": int(num_workers),
+        "plan": plan.to_dict(),
+        "rng": generator_state(rng),
+        "ids": [float(x) for x in overlay.ids],
+        "pending_ids": [float(x) for x in overlay.pending_ids],
+        "joined": [bool(x) for x in overlay.joined],
+        "moves_done": [int(x) for x in overlay.columns.moves_done],
+        "incoming_sources": [
+            sorted(int(w) for w in srcs) for srcs in overlay._incoming_sources
+        ],
+        "long_links": [
+            sorted(int(w) for w in t.long_links) for t in overlay.tables
+        ],
+        "join_events": [
+            [int(e.step), int(e.user), None if e.inviter is None else int(e.inviter)]
+            for e in overlay.join_events
+        ],
+        "trace": overlay.trace.to_rows(),
+    }
+
+
+def restore_build_state(overlay, state: dict):
+    """Roll the light replica back to a build record; returns the RNG.
+
+    Restores everything every replica shares: identifiers, routing
+    tables, the admission ledger, movement counters, trace, and round
+    bookkeeping. Heavy per-peer state must be restored separately from
+    the generation's arcs (:func:`restore_arc`) by whoever owns it.
+    """
+    if state.get("schema") != BUILD_SCHEMA:
+        raise ShardError(
+            f"unsupported build record schema {state.get('schema')!r} "
+            f"(expected {BUILD_SCHEMA!r})"
+        )
+    fp = graph_fingerprint(overlay.graph)
+    if state["graph_fingerprint"] != fp:
+        raise ShardError(
+            f"checkpoint graph mismatch: overlay fingerprint {fp} != "
+            f"checkpoint {state['graph_fingerprint']}"
+        )
+    if int(state["k_links"]) != int(overlay.k_links):
+        raise ShardError(
+            f"checkpoint k_links mismatch: overlay has {overlay.k_links}, "
+            f"checkpoint has {state['k_links']}"
+        )
+    # In place: ids/joined are shared column storage (PeerState views).
+    overlay.ids[:] = np.asarray(state["ids"], dtype=np.float64)
+    overlay.pending_ids[:] = np.asarray(state["pending_ids"], dtype=np.float64)
+    overlay.joined[:] = np.asarray(state["joined"], dtype=bool)
+    overlay.columns.moves_done[:] = np.asarray(state["moves_done"], dtype=np.int64)
+    overlay._incoming_sources = [set(srcs) for srcs in state["incoming_sources"]]
+    overlay.incoming_count[:] = [len(s) for s in overlay._incoming_sources]
+    for table, links in zip(overlay.tables, state["long_links"]):
+        table.long_links = [int(w) for w in links]
+    overlay._lsh_seed = int(state["lsh_seed"])
+    overlay.join_events = [
+        JoinEvent(step=int(s), user=int(u), inviter=None if i is None else int(i))
+        for s, u, i in state["join_events"]
+    ]
+    overlay._round_no = int(state["round"])
+    overlay._quiet_rounds = int(state["quiet_rounds"])
+    overlay.iterations = int(state["iterations"])
+    overlay.round_link_changes = 0
+    trace = TraceRecorder()
+    for row in state["trace"]:
+        trace.record(row["series"], row["round"], row["value"])
+    overlay.trace = trace
+    overlay._refresh_ring()
+    return restore_generator(state["rng"])
+
+
+def write_build_record(gen_dir: str, state: dict) -> str:
+    """Atomically write ``build.json``; returns the build id.
+
+    This is the *last* write of a generation — its presence (with a
+    matching digest) is what marks the generation complete.
+    """
+    build_id = snapshot_id(state)
+    atomic_write_json(
+        os.path.join(gen_dir, BUILD_FILE),
+        {"build_id": build_id, "state": state},
+        separators=(",", ":"),
+        sort_keys=True,
+    )
+    return build_id
+
+
+def load_build(gen_dir: str) -> "tuple[str, dict]":
+    path = os.path.join(gen_dir, BUILD_FILE)
+    if not os.path.isfile(path):
+        raise ShardError(f"incomplete generation (no {BUILD_FILE}): {gen_dir}")
+    with open(path, "r", encoding="utf-8") as fh:
+        record = json.load(fh)
+    build_id, state = record["build_id"], record["state"]
+    digest = snapshot_id(state)
+    if digest != build_id:
+        raise SnapshotIntegrityError(
+            f"build record integrity check failed at {path}: "
+            f"state digest {digest} != build_id {build_id}"
+        )
+    return build_id, state
+
+
+# -- arc sub-snapshots ---------------------------------------------------------
+
+
+def save_arc(
+    gen_dir: str,
+    shard: int,
+    worker: int,
+    plan: ShardPlan,
+    overlay,
+    round_no: int,
+    parent_id: str,
+) -> str:
+    """Write one shard's sub-snapshot; returns the arc state id.
+
+    ``state.json`` lands first, then the manifest that vouches for it —
+    the persist format's write ordering, at arc granularity.
+    """
+    vertices = plan.shard_vertices(shard)
+    lo, hi = plan.arc_bounds(shard)
+    state = {
+        "vertices": [int(v) for v in vertices],
+        "peers": [_capture_peer(overlay.peers[int(v)]) for v in vertices],
+    }
+    state_id = snapshot_id(state)
+    manifest = {
+        "schema": ARC_SCHEMA,
+        "shard": int(shard),
+        "worker": int(worker),
+        "arc": [float(lo), float(hi)],
+        "round": int(round_no),
+        "parent_snapshot_id": str(parent_id),
+        "num_vertices": len(vertices),
+        "state_id": state_id,
+    }
+    arc_dir = _shard_dir(gen_dir, shard)
+    os.makedirs(arc_dir, exist_ok=True)
+    atomic_write_json(
+        os.path.join(arc_dir, "state.json"), state, separators=(",", ":"), sort_keys=True
+    )
+    atomic_write_json(os.path.join(arc_dir, "manifest.json"), manifest, indent=2, sort_keys=True)
+    return state_id
+
+
+def load_arc(arc_dir: str) -> "tuple[dict, dict]":
+    """Read one arc sub-snapshot back; verifies schema and digest."""
+    mpath = os.path.join(arc_dir, "manifest.json")
+    spath = os.path.join(arc_dir, "state.json")
+    for p in (mpath, spath):
+        if not os.path.isfile(p):
+            raise ShardError(f"missing arc file: {p}")
+    with open(mpath, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    if manifest.get("schema") != ARC_SCHEMA:
+        raise ShardError(
+            f"unsupported arc schema {manifest.get('schema')!r} (expected {ARC_SCHEMA!r})"
+        )
+    with open(spath, "r", encoding="utf-8") as fh:
+        state = json.load(fh)
+    digest = snapshot_id(state)
+    if digest != manifest.get("state_id"):
+        raise SnapshotIntegrityError(
+            f"arc integrity check failed at {arc_dir}: state digest {digest} != "
+            f"manifest state_id {manifest.get('state_id')}"
+        )
+    if len(state["vertices"]) != manifest["num_vertices"]:
+        raise ShardError(
+            f"arc {arc_dir} carries {len(state['vertices'])} vertices, "
+            f"manifest says {manifest['num_vertices']}"
+        )
+    return manifest, state
+
+
+def restore_arc(overlay, state: dict) -> None:
+    """Restore an arc's heavy per-peer state into a replica."""
+    for v, payload in zip(state["vertices"], state["peers"]):
+        peer = overlay.peers[int(v)]
+        _restore_peer(peer, payload)
+        peer.lsh_family = overlay.lsh_family_for(peer.node)
+        peer.k_buckets = overlay.k_links
+
+
+# -- generation management -----------------------------------------------------
+
+
+def _generation_rounds(root: str) -> "list[tuple[int, str]]":
+    if not os.path.isdir(root):
+        return []
+    out = []
+    for name in os.listdir(root):
+        if name.startswith(_GEN_PREFIX):
+            try:
+                rnd = int(name[len(_GEN_PREFIX) :])
+            except ValueError:
+                continue
+            out.append((rnd, os.path.join(root, name)))
+    return sorted(out)
+
+
+def _is_complete(gen_dir: str) -> bool:
+    """A generation is complete iff its parent record vouches for every arc."""
+    try:
+        build_id, state = load_build(gen_dir)
+        plan = ShardPlan.from_dict(state["plan"])
+        for s in range(plan.num_shards):
+            manifest, _ = load_arc(_shard_dir(gen_dir, s))
+            if manifest["parent_snapshot_id"] != build_id:
+                return False
+            if manifest["shard"] != s:
+                return False
+    except (ShardError, SnapshotIntegrityError, KeyError, json.JSONDecodeError):
+        return False
+    return True
+
+
+def latest_generation(root: str) -> "str | None":
+    """The newest *complete* generation under ``root`` (None if none)."""
+    for _, gen_dir in reversed(_generation_rounds(root)):
+        if _is_complete(gen_dir):
+            return gen_dir
+    return None
+
+
+def prune_generations(root: str, keep: int = 2) -> int:
+    """Delete all but the newest ``keep`` complete generations.
+
+    Partial generations older than the newest complete one are removed
+    too (they can never be restored). Returns the number removed.
+    """
+    import shutil
+
+    gens = _generation_rounds(root)
+    complete = [d for _, d in gens if _is_complete(d)]
+    survivors = set(complete[-keep:]) if keep > 0 else set()
+    if complete:
+        newest_complete = complete[-1]
+    else:
+        return 0
+    removed = 0
+    for _, gen_dir in gens:
+        if gen_dir in survivors:
+            continue
+        if gen_dir > newest_complete:
+            continue  # a partial generation newer than the newest complete
+        shutil.rmtree(gen_dir, ignore_errors=True)
+        removed += 1
+    return removed

@@ -33,7 +33,7 @@ GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "data", "golden_snapshot")
 #: pinned manifest id of the committed fixture: regenerating the same
 #: graph (facebook, n=100, seed 11) and build (seed 7) must reproduce
 #: this byte-for-byte, or the snapshot format silently drifted.
-GOLDEN_ID = "3dcd71cc10d8dd41"
+GOLDEN_ID = "48bc8104e71d7e82"
 
 
 def fresh_overlay(graph, seed=9):
